@@ -1,0 +1,82 @@
+// Command datagen generates the synthetic Gaussian-mixture datasets used
+// throughout the paper's evaluation and writes them as text files (one
+// point per line, space-separated coordinates).
+//
+// Usage:
+//
+//	datagen -k 100 -dim 10 -n 1000000 -o d100.txt
+//	datagen -k 10 -dim 2 -n 10000 -sep 18 -stddev 2 -o fig1.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gmeansmr/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	var (
+		k      = flag.Int("k", 10, "true number of clusters")
+		dim    = flag.Int("dim", 2, "dimensionality")
+		n      = flag.Int("n", 10000, "number of points")
+		rng    = flag.Float64("range", 100, "side of the hypercube centers are drawn from")
+		stddev = flag.Float64("stddev", 1, "per-coordinate standard deviation of each cluster")
+		sep    = flag.Float64("sep", 0, "minimum pairwise center separation (0 = none)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output file (default: stdout)")
+		truth  = flag.String("truth", "", "optional file receiving the true centers")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Generate(dataset.Spec{
+		K: *k, Dim: *dim, N: *n,
+		CenterRange: *rng, StdDev: *stddev, MinSeparation: *sep, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w *bufio.Writer
+	if *out == "" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, p := range ds.Points {
+		w.WriteString(dataset.FormatPoint(p))
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if *truth != "" {
+		f, err := os.Create(*truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw := bufio.NewWriter(f)
+		for _, c := range ds.Centers {
+			tw.WriteString(dataset.FormatPoint(c))
+			tw.WriteByte('\n')
+		}
+		if err := tw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d points (%d clusters, R^%d) to %s\n", *n, *k, *dim, *out)
+	}
+}

@@ -1,0 +1,50 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on scaled workloads (see EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	experiments                     # run everything
+//	experiments -run fig3           # one experiment
+//	experiments -scale 0.25 -csv out/   # quarter-size workloads + CSV dumps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gmeansmr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		run   = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+		scale = flag.Float64("scale", 1.0, "workload scale factor (points)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.String("csv", "", "directory receiving CSV dumps (optional)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Out: os.Stdout, CSVDir: *csv, Scale: *scale, Seed: *seed}
+	if *run == "all" {
+		if err := experiments.RunAll(opts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runner, ok := experiments.Registry[*run]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all, %s\n",
+			*run, strings.Join(experiments.Names(), ", "))
+		os.Exit(2)
+	}
+	if err := runner(opts); err != nil {
+		log.Fatal(err)
+	}
+}

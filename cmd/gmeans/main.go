@@ -1,0 +1,105 @@
+// Command gmeans runs MapReduce G-means over a text dataset (one point per
+// line) and prints the discovered centers along with the engine's cost
+// accounting: iterations, dataset reads, distance computations, shuffle
+// volume, and per-iteration strategy decisions.
+//
+// Usage:
+//
+//	datagen -k 100 -dim 10 -n 100000 -sep 8 -o d100.txt
+//	gmeans -dim 10 -nodes 4 d100.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gmeansmr/internal/core"
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/mr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gmeans: ")
+
+	var (
+		dim      = flag.Int("dim", 0, "dimensionality of the points (required)")
+		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
+		alpha    = flag.Float64("alpha", 0.0001, "Anderson-Darling significance level")
+		maxK     = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
+		maxIter  = flag.Int("maxiter", 30, "maximum G-means rounds")
+		merge    = flag.Float64("merge", 0, "post-processing merge radius (0 = off, -1 = auto)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		split    = flag.Int("split", 1<<20, "simulated DFS split size in bytes")
+		centers  = flag.String("centers", "", "optional file receiving the final centers")
+		verbose  = flag.Bool("v", false, "print per-iteration details")
+		strategy = flag.String("strategy", "", "pin the test strategy: TestClusters or TestFewClusters")
+		useTree  = flag.Bool("kdtree", false, "accelerate nearest-center queries with a k-d tree")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *dim <= 0 {
+		fmt.Fprintln(os.Stderr, "usage: gmeans -dim D [flags] <dataset.txt>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	fs := dfs.New(*split)
+	if err := fs.ImportLocal(flag.Arg(0), "/data/points.txt"); err != nil {
+		log.Fatal(err)
+	}
+	cluster := mr.DefaultCluster().WithNodes(*nodes)
+	cfg := core.Config{
+		Env: kmeansmr.Env{FS: fs, Cluster: cluster, Input: "/data/points.txt",
+			Dim: *dim, UseKDTree: *useTree},
+		Alpha:         *alpha,
+		MaxK:          *maxK,
+		MaxIterations: *maxIter,
+		Seed:          *seed,
+		ForceStrategy: core.TestStrategy(*strategy),
+	}
+	if *merge > 0 {
+		cfg.MergeRadius = *merge
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *merge < 0 {
+		res.Centers = core.MergeCloseCenters(res.Centers, core.SuggestMergeRadius(res.Centers))
+		res.K = len(res.Centers)
+	}
+
+	fmt.Printf("discovered k = %d (before merge: %d)\n", res.K, res.KBeforeMerge)
+	fmt.Printf("iterations   = %d\n", res.Iterations)
+	fmt.Printf("wall time    = %s\n", res.Duration.Round(1e6))
+	fmt.Printf("dataset reads= %d\n", fs.DatasetReads())
+	fmt.Printf("distances    = %d\n", res.Counters.Get(kmeansmr.CounterDistances))
+	fmt.Printf("AD tests     = %d\n", res.Counters.Get(core.CounterADTests))
+	fmt.Printf("shuffle bytes= %d\n", res.Counters.Get(mr.CounterShuffleBytes))
+
+	if *verbose {
+		fmt.Println("\nper-iteration:")
+		for _, it := range res.PerIteration {
+			fmt.Printf("  round %2d  strategy=%-16s tested=%-4d split=%-4d found=%-4d maxcluster=%-8d heapest=%dB  %s\n",
+				it.Iteration, it.Strategy, it.ActiveBefore, it.SplitCount,
+				it.FoundAfter, it.MaxClusterSize, it.EstimatedHeap, it.Duration.Round(1e6))
+		}
+	}
+	if *centers != "" {
+		f, err := os.Create(*centers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range res.Centers {
+			fmt.Fprintln(f, dataset.FormatPoint(c))
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("centers written to %s\n", *centers)
+	}
+}

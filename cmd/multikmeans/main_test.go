@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"gmeansmr/internal/criteria"
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/lloyd"
+)
+
+// buildCandidates materializes a 3-cluster dataset into a DFS and returns
+// sweep clusterings for k=1..6.
+func buildCandidates(t *testing.T) (*dfs.FS, []criteria.Clustering) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{K: 3, Dim: 2, N: 600, MinSeparation: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dfs.New(0)
+	ds.WriteToDFS(fs, "/data/points.txt")
+	var cs []criteria.Clustering
+	for k := 1; k <= 6; k++ {
+		res, err := lloyd.BestOf(ds.Points, lloyd.Config{K: k, Seeding: lloyd.SeedPlusPlus, Seed: int64(k)}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, criteria.FromResult(res))
+	}
+	return fs, cs
+}
+
+func TestSelectKCriteria(t *testing.T) {
+	fs, cs := buildCandidates(t)
+	for _, criterion := range []string{"elbow", "jump", "silhouette", "bic"} {
+		// Work on a copy: selectK mutates assignments.
+		cp := make([]criteria.Clustering, len(cs))
+		copy(cp, cs)
+		k, err := selectK(criterion, fs, cp, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", criterion, err)
+		}
+		if k != 3 {
+			t.Errorf("%s selected k=%d, want 3", criterion, k)
+		}
+	}
+}
+
+func TestSelectKUnknownCriterion(t *testing.T) {
+	fs, cs := buildCandidates(t)
+	if _, err := selectK("nope", fs, cs, 1); err == nil {
+		t.Error("unknown criterion accepted")
+	}
+}

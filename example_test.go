@@ -1,0 +1,25 @@
+package gmeansmr_test
+
+import (
+	"fmt"
+	"log"
+
+	gmeansmr "gmeansmr"
+)
+
+// ExampleCluster runs MapReduce G-means over a synthetic mixture whose
+// cluster count is unknown to the algorithm.
+func ExampleCluster() {
+	ds, err := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{
+		K: 3, Dim: 2, N: 3000, MinSeparation: 30, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := gmeansmr.Cluster(ds.Points, gmeansmr.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered k = %d\n", res.K)
+	// Output: discovered k = 3
+}

@@ -1,0 +1,134 @@
+// Color quantization: discover the palette of an image without choosing
+// the palette size up front. Pixels are RGB points; G-means finds how many
+// color modes the image actually has and where they sit — a direct use of
+// "determining the k in k-means".
+//
+// The example synthesizes a flat-shaded scene (sky, sea, sand, two boat
+// colors, sail) with sensor noise, runs G-means over the pixels, and
+// reports the recovered palette and the quantization error against the
+// true palette.
+//
+//	go run ./examples/colorquant
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	gmeansmr "gmeansmr"
+)
+
+type region struct {
+	name string
+	rgb  [3]float64
+	frac float64 // share of pixels
+}
+
+func main() {
+	palette := []region{
+		{"sky", [3]float64{135, 206, 235}, 0.40},
+		{"sea", [3]float64{0, 105, 148}, 0.30},
+		{"sand", [3]float64{194, 178, 128}, 0.15},
+		{"hull", [3]float64{139, 69, 19}, 0.07},
+		{"sail", [3]float64{245, 245, 245}, 0.05},
+		{"flag", [3]float64{200, 16, 46}, 0.03},
+	}
+	rng := rand.New(rand.NewSource(21))
+	const pixels = 40_000
+	const noise = 6.0 // sensor noise, std dev per channel
+
+	points := make([][]float64, 0, pixels)
+	for i := 0; i < pixels; i++ {
+		reg := sample(palette, rng)
+		points = append(points, []float64{
+			clamp255(reg.rgb[0] + rng.NormFloat64()*noise),
+			clamp255(reg.rgb[1] + rng.NormFloat64()*noise),
+			clamp255(reg.rgb[2] + rng.NormFloat64()*noise),
+		})
+	}
+
+	res, err := gmeansmr.Cluster(points, gmeansmr.Options{Seed: 4, MergeRadius: gmeansmr.MergeAuto})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("palette size discovered: %d (true: %d)\n\n", res.K, len(palette))
+	fmt.Println("recovered palette (nearest true color in parentheses):")
+	for i, c := range res.Centers {
+		name, d := nearestRegion(palette, c)
+		fmt.Printf("  #%d  rgb(%3.0f,%3.0f,%3.0f)  → %-5s (Δ=%5.1f)\n", i, c[0], c[1], c[2], name, d)
+	}
+
+	// Quantization error: mean per-pixel distance to assigned palette entry.
+	var errSum float64
+	for i, p := range points {
+		errSum += dist(p, res.Centers[res.Assignment[i]])
+	}
+	fmt.Printf("\nmean quantization error: %.2f (sensor noise σ√3 ≈ %.2f)\n",
+		errSum/float64(len(points)), noise*math.Sqrt(3))
+
+	// Coverage check: every true region should map to a distinct center.
+	seen := map[int]bool{}
+	missed := 0
+	for _, reg := range palette {
+		idx, _ := nearestCenter(res.Centers, reg.rgb[:])
+		if seen[idx] {
+			missed++
+		}
+		seen[idx] = true
+	}
+	fmt.Printf("distinct true colors resolved: %d/%d\n", len(palette)-missed, len(palette))
+}
+
+func sample(palette []region, rng *rand.Rand) region {
+	r := rng.Float64()
+	acc := 0.0
+	for _, reg := range palette {
+		acc += reg.frac
+		if r <= acc {
+			return reg
+		}
+	}
+	return palette[len(palette)-1]
+}
+
+func clamp255(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return x
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func nearestRegion(palette []region, c []float64) (string, float64) {
+	best, bestD := "", math.Inf(1)
+	for _, reg := range palette {
+		if d := dist(reg.rgb[:], c); d < bestD {
+			best, bestD = reg.name, d
+		}
+	}
+	return best, bestD
+}
+
+func nearestCenter(centers [][]float64, p []float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centers {
+		if d := dist(c, p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate a Gaussian mixture with an unknown (to the
+// algorithm) number of clusters, run MapReduce G-means through the public
+// facade, and inspect what it discovered and what it cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gmeansmr "gmeansmr"
+)
+
+func main() {
+	// 12 well-separated Gaussian clusters in R³ — but the algorithm is
+	// never told the 12.
+	ds, err := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{
+		K: 12, Dim: 3, N: 30_000, MinSeparation: 15, StdDev: 1, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := gmeansmr.Cluster(ds.Points, gmeansmr.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("true k       = %d\n", ds.Spec.K)
+	fmt.Printf("discovered k = %d in %d G-means iterations\n", res.K, res.Iterations)
+	fmt.Printf("distance computations = %d (≈ 8·n·k as the paper predicts)\n",
+		res.Counters["app.distance.computations"])
+	fmt.Printf("anderson-darling tests = %d (≈ 2·k)\n", res.Counters["app.ad.tests"])
+
+	// Cluster sizes from the assignment.
+	sizes := make([]int, res.K)
+	for _, c := range res.Assignment {
+		sizes[c]++
+	}
+	fmt.Println("\ncenters (x, y, z) and sizes:")
+	for i, c := range res.Centers {
+		fmt.Printf("  #%02d  (%7.2f, %7.2f, %7.2f)  %d points\n", i, c[0], c[1], c[2], sizes[i])
+	}
+}

@@ -1,0 +1,151 @@
+// Package gmeansmr is a Go reproduction of "Determining the k in k-means
+// with MapReduce" (Debatty, Michiardi, Mees, Thonnard — EDBT/ICDT 2014):
+// G-means on MapReduce, an algorithm that clusters a dataset *and*
+// determines the number of clusters k with computation cost proportional
+// to n·k, against the O(n·k²) of running k-means for every candidate k.
+//
+// The package is a facade over the internal building blocks:
+//
+//   - a simulated HDFS + Hadoop-1.x-style MapReduce engine (splits,
+//     combiners, sort shuffle, task heap budgets, counters, node×slot
+//     parallelism);
+//   - the MR G-means driver and its three jobs (KMeans,
+//     KMeansAndFindNewCenters, TestClusters/TestFewClusters);
+//   - the multi-k-means baseline and the classic "pick k" criteria
+//     (elbow, silhouette, Dunn, gap statistic, jump method, BIC/AIC);
+//   - a Gaussian-mixture workload generator.
+//
+// # Quick start
+//
+//	ds, _ := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{K: 10, Dim: 2, N: 100_000})
+//	res, _ := gmeansmr.Cluster(ds.Points, gmeansmr.Options{})
+//	fmt.Println("discovered k =", res.K)
+//
+// For full control over the simulated cluster, file system and algorithm
+// parameters, build a core.Config directly (see the cmd/ and examples/
+// directories).
+package gmeansmr
+
+import (
+	"fmt"
+
+	"gmeansmr/internal/core"
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/vec"
+)
+
+// Point is a point in R^d.
+type Point = []float64
+
+// DatasetSpec describes a synthetic Gaussian-mixture dataset.
+type DatasetSpec = dataset.Spec
+
+// Dataset is a generated mixture with ground truth.
+type Dataset = dataset.Dataset
+
+// GenerateDataset materializes a synthetic Gaussian mixture.
+func GenerateDataset(spec DatasetSpec) (*Dataset, error) { return dataset.Generate(spec) }
+
+// Options tune a Cluster run. The zero value reproduces the paper's
+// configuration: start from one cluster, α=0.0001 Anderson–Darling, two
+// k-means passes per round, a 4-node simulated cluster.
+type Options struct {
+	// Nodes is the simulated cluster size (0 = 4, the paper's testbed).
+	Nodes int
+	// Alpha is the Anderson–Darling significance level (0 = 0.0001).
+	Alpha float64
+	// MaxK stops splitting once this many centers exist (0 = unlimited).
+	MaxK int
+	// MergeRadius, when positive, merges final centers closer than this —
+	// the paper's proposed post-processing against over-estimation. Set it
+	// to MergeAuto to derive a radius from the centers themselves.
+	MergeRadius float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// MergeAuto asks Cluster to derive the merge radius from the discovered
+// centers (half the median nearest-neighbor distance).
+const MergeAuto = -1.0
+
+// Result is the outcome of a Cluster run.
+type Result struct {
+	// Centers are the discovered cluster centers; K = len(Centers).
+	Centers []Point
+	K       int
+	// Iterations is the number of G-means rounds executed.
+	Iterations int
+	// Assignment maps each input point to its center.
+	Assignment []int
+	// Counters exposes the engine's cost accounting (distance
+	// computations, shuffle bytes, Anderson–Darling tests, ...).
+	Counters map[string]int64
+}
+
+// Cluster runs MR G-means over in-memory points: it loads them into a
+// simulated DFS, executes the full MapReduce pipeline, and returns the
+// discovered centers. This is the "just cluster my data" entry point; for
+// streaming datasets or experiment-grade control use the internal packages
+// directly.
+func Cluster(points []Point, opts Options) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("gmeansmr: no points")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("gmeansmr: point %d has %d dimensions, want %d", i, len(p), dim)
+		}
+	}
+	cluster := mr.DefaultCluster()
+	if opts.Nodes > 0 {
+		cluster = cluster.WithNodes(opts.Nodes)
+	}
+
+	// Size splits so every map slot has a few tasks.
+	approxBytes := len(points) * dim * 18
+	splitSize := approxBytes / (cluster.MapCapacity() * 4)
+	if splitSize < 4<<10 {
+		splitSize = 4 << 10
+	}
+	fs := dfs.New(splitSize)
+	w := fs.Writer("/data/points.txt")
+	for _, p := range points {
+		w.WriteString(dataset.FormatPoint(p))
+		w.WriteString("\n")
+	}
+	w.Close()
+
+	cfg := core.Config{
+		Env:   kmeansmr.Env{FS: fs, Cluster: cluster, Input: "/data/points.txt", Dim: dim},
+		Alpha: opts.Alpha,
+		MaxK:  opts.MaxK,
+		Seed:  opts.Seed,
+	}
+	if opts.MergeRadius > 0 {
+		cfg.MergeRadius = opts.MergeRadius
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	centers := res.Centers
+	if opts.MergeRadius == MergeAuto {
+		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
+	}
+
+	assign := make([]int, len(points))
+	for i, p := range points {
+		assign[i], _ = vec.NearestIndex(p, centers)
+	}
+	return &Result{
+		Centers:    centers,
+		K:          len(centers),
+		Iterations: res.Iterations,
+		Assignment: assign,
+		Counters:   res.Counters.Snapshot(),
+	}, nil
+}

@@ -1,0 +1,105 @@
+package gmeansmr
+
+import (
+	"math"
+	"testing"
+
+	"gmeansmr/internal/vec"
+)
+
+func TestClusterFacadeEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{K: 6, Dim: 2, N: 6000, MinSeparation: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(ds.Points, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 6 || res.K > 12 {
+		t.Fatalf("discovered k=%d for true k=6", res.K)
+	}
+	if len(res.Assignment) != len(ds.Points) {
+		t.Fatalf("assignment length %d", len(res.Assignment))
+	}
+	for i, a := range res.Assignment {
+		if a < 0 || a >= res.K {
+			t.Fatalf("assignment[%d]=%d out of range", i, a)
+		}
+		// The assignment must actually be nearest-center.
+		want, _ := vec.NearestIndex(ds.Points[i], res.Centers)
+		if want != a {
+			t.Fatalf("assignment[%d]=%d, nearest is %d", i, a, want)
+		}
+	}
+	for _, truth := range ds.Centers {
+		_, d2 := vec.NearestIndex(truth, res.Centers)
+		if math.Sqrt(d2) > 4 {
+			t.Errorf("no discovered center near truth %v", truth)
+		}
+	}
+	if res.Counters["app.distance.computations"] == 0 {
+		t.Error("counters not exposed")
+	}
+	if res.Iterations < 3 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestClusterFacadeValidation(t *testing.T) {
+	if _, err := Cluster(nil, Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Cluster([]Point{{1, 2}, {1}}, Options{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestClusterFacadeMaxK(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{K: 12, Dim: 2, N: 6000, MinSeparation: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(ds.Points, Options{Seed: 4, MaxK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 5 {
+		t.Errorf("MaxK=5 but k=%d", res.K)
+	}
+}
+
+func TestClusterFacadeMergeAuto(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{K: 8, Dim: 2, N: 8000, MinSeparation: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Cluster(ds.Points, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Cluster(ds.Points, Options{Seed: 6, MergeRadius: MergeAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.K > plain.K {
+		t.Errorf("auto-merge increased k: %d > %d", merged.K, plain.K)
+	}
+	if merged.K < 6 {
+		t.Errorf("auto-merge collapsed too far: k=%d", merged.K)
+	}
+}
+
+func TestClusterFacadeNodesOption(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{K: 4, Dim: 2, N: 3000, MinSeparation: 25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(ds.Points, Options{Seed: 8, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 4 || res.K > 8 {
+		t.Errorf("k=%d with 2-node cluster", res.K)
+	}
+}

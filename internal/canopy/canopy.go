@@ -1,0 +1,144 @@
+// Package canopy implements canopy clustering (McCallum, Nigam & Ungar,
+// KDD 2000), the cheap pre-clustering pass the paper recommends for
+// seeding production k-means pipelines ("another common possibility is to
+// use canopy clustering to compute the initial centers") and for
+// partitioning high-dimensional data into overlapping subsets.
+//
+// The algorithm makes one pass over the points with two thresholds
+// T1 > T2: each unprocessed point starts a new canopy; every point within
+// T1 joins the canopy (possibly joining several), and points within T2 are
+// removed from further consideration as canopy centers. The canopy centers
+// make excellent k-means seeds because no two of them are closer than T2.
+package canopy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gmeansmr/internal/vec"
+)
+
+// Canopy is one overlapping group: the point that seeded it and the
+// indexes of all points within the loose threshold.
+type Canopy struct {
+	Center  vec.Vector
+	Members []int
+}
+
+// Config holds the two distance thresholds. T1 (loose) must exceed T2
+// (tight); both are plain Euclidean distances.
+type Config struct {
+	T1, T2 float64
+	// Seed shuffles the processing order; canopy results are order
+	// dependent by construction.
+	Seed int64
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if c.T1 <= 0 || c.T2 <= 0 {
+		return errors.New("canopy: thresholds must be positive")
+	}
+	if c.T1 < c.T2 {
+		return fmt.Errorf("canopy: T1 (%g) must be ≥ T2 (%g)", c.T1, c.T2)
+	}
+	return nil
+}
+
+// Cluster performs one canopy pass over points.
+func Cluster(points []vec.Vector, cfg Config) ([]Canopy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, errors.New("canopy: no points")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(points))
+	removed := make([]bool, len(points))
+	t1sq := cfg.T1 * cfg.T1
+	t2sq := cfg.T2 * cfg.T2
+
+	var canopies []Canopy
+	for _, seed := range order {
+		if removed[seed] {
+			continue
+		}
+		c := Canopy{Center: points[seed]}
+		for i, p := range points {
+			d2 := vec.Dist2(p, points[seed])
+			if d2 <= t1sq {
+				c.Members = append(c.Members, i)
+			}
+			if d2 <= t2sq {
+				removed[i] = true
+			}
+		}
+		canopies = append(canopies, c)
+	}
+	return canopies, nil
+}
+
+// Centers extracts the canopy centers, the k-means seeding set.
+func Centers(canopies []Canopy) []vec.Vector {
+	out := make([]vec.Vector, len(canopies))
+	for i, c := range canopies {
+		out[i] = c.Center
+	}
+	return out
+}
+
+// EstimateK runs a canopy pass purely to count clusters — a one-scan
+// estimate of k that makes a useful sanity check against G-means output
+// when a distance scale for the data is known.
+func EstimateK(points []vec.Vector, cfg Config) (int, error) {
+	canopies, err := Cluster(points, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return len(canopies), nil
+}
+
+// SuggestThresholds derives (T1, T2) from a sample of pairwise distances:
+// the 10th percentile estimates the within-cluster distance scale (for a
+// mixture with a handful of clusters, the smallest tenth of pairwise
+// distances is dominated by same-cluster pairs); T2 is set to 3× that so a
+// whole cluster fits inside one tight ball, and T1 to 2×T2. It is a
+// heuristic — canopy thresholds are domain knowledge in McCallum's
+// formulation — but serves the examples and tests.
+func SuggestThresholds(points []vec.Vector, sample int, seed int64) (t1, t2 float64, err error) {
+	if len(points) < 2 {
+		return 0, 0, errors.New("canopy: need at least two points")
+	}
+	if sample <= 0 {
+		sample = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dists := make([]float64, 0, sample)
+	for i := 0; i < sample; i++ {
+		a := rng.Intn(len(points))
+		b := rng.Intn(len(points))
+		if a == b {
+			continue
+		}
+		dists = append(dists, vec.Dist(points[a], points[b]))
+	}
+	if len(dists) == 0 {
+		return 0, 0, errors.New("canopy: could not sample distances")
+	}
+	// Insertion sort is fine for ≤ a few thousand samples.
+	for i := 1; i < len(dists); i++ {
+		for j := i; j > 0 && dists[j] < dists[j-1]; j-- {
+			dists[j], dists[j-1] = dists[j-1], dists[j]
+		}
+	}
+	t2 = 3 * dists[len(dists)/10]
+	if t2 <= 0 {
+		t2 = dists[len(dists)-1] / 10
+	}
+	if t2 <= 0 {
+		return 0, 0, errors.New("canopy: degenerate distance distribution")
+	}
+	return 2 * t2, t2, nil
+}

@@ -1,0 +1,178 @@
+package canopy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/vec"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Config{T1: 2, T2: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{{T1: 0, T2: 1}, {T1: 1, T2: 0}, {T1: 1, T2: 2}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if _, err := Cluster(nil, Config{T1: 2, T2: 1}); err == nil {
+		t.Error("empty points accepted")
+	}
+}
+
+func TestClusterWellSeparated(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{K: 6, Dim: 2, N: 1200, MinSeparation: 30, StdDev: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canopies, err := Cluster(ds.Points, Config{T1: 12, T2: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(canopies) != 6 {
+		t.Errorf("canopies = %d, want 6", len(canopies))
+	}
+	// Every point appears in at least one canopy.
+	seen := make([]bool, len(ds.Points))
+	for _, c := range canopies {
+		for _, m := range c.Members {
+			seen[m] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d not covered by any canopy", i)
+		}
+	}
+}
+
+func TestCentersPairwiseSeparation(t *testing.T) {
+	// No two canopy centers may be closer than T2 — the property that
+	// makes them good k-means seeds.
+	ds, err := dataset.Generate(dataset.Spec{K: 5, Dim: 3, N: 800, MinSeparation: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canopies, err := Cluster(ds.Points, Config{T1: 10, T2: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := Centers(canopies)
+	for i := 0; i < len(centers); i++ {
+		for j := i + 1; j < len(centers); j++ {
+			if d := vec.Dist(centers[i], centers[j]); d < 5 {
+				t.Errorf("centers %d,%d only %.2f apart (< T2)", i, j, d)
+			}
+		}
+	}
+}
+
+func TestEstimateK(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{K: 8, Dim: 2, N: 1600, MinSeparation: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := EstimateK(ds.Points, Config{T1: 12, T2: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 8 {
+		t.Errorf("EstimateK = %d, want 8", k)
+	}
+}
+
+func TestSuggestThresholds(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{K: 4, Dim: 2, N: 800, MinSeparation: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2, err := SuggestThresholds(ds.Points, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 2*t2 || t2 <= 0 {
+		t.Fatalf("thresholds = (%v, %v)", t1, t2)
+	}
+	// The suggested thresholds should land the canopy count in the right
+	// ballpark for well-separated data.
+	k, err := EstimateK(ds.Points, Config{T1: t1, T2: t2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 3 || k > 8 {
+		t.Errorf("EstimateK with suggested thresholds = %d for true k=4", k)
+	}
+	if _, _, err := SuggestThresholds(ds.Points[:1], 100, 1); err == nil {
+		t.Error("single point accepted")
+	}
+}
+
+// TestPropEveryPointCovered: for any data and any valid thresholds, the
+// canopy pass covers every point at least once (the seeding point of each
+// canopy is trivially within T1 of itself).
+func TestPropEveryPointCovered(t *testing.T) {
+	f := func(seed int64, t2Raw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(120)
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = vec.Vector{r.Float64() * 50, r.Float64() * 50}
+		}
+		t2 := 0.5 + float64(t2Raw)/8
+		canopies, err := Cluster(pts, Config{T1: 2 * t2, T2: t2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, c := range canopies {
+			for _, m := range c.Members {
+				seen[m] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCentersSeparatedByT2: canopy centers are pairwise at least T2
+// apart, for any input.
+func TestPropCentersSeparatedByT2(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(80)
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = vec.Vector{r.Float64() * 30, r.Float64() * 30}
+		}
+		t2 := 1.0 + r.Float64()*4
+		canopies, err := Cluster(pts, Config{T1: 2 * t2, T2: t2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		centers := Centers(canopies)
+		for i := 0; i < len(centers); i++ {
+			for j := i + 1; j < len(centers); j++ {
+				if vec.Dist(centers[i], centers[j]) < t2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package core implements the paper's contribution: G-means on MapReduce
+// (Algorithm 1 of the paper). The driver chains three jobs per iteration —
+//
+//	KMeans                    refine the current candidate centers
+//	KMeansAndFindNewCenters   last k-means pass + pick 2 candidates/center
+//	TestClusters              project each cluster on the vector joining
+//	                          its two candidates and Anderson–Darling test
+//	                          the projections (or TestFewClusters: test in
+//	                          the mapper while k is small)
+//
+// — splitting every cluster whose projections fail the normality test,
+// until every cluster looks Gaussian.
+package core
+
+import (
+	"fmt"
+
+	"gmeansmr/internal/kmeansmr"
+)
+
+// Offset is the key offset separating "candidate center" records from
+// "refine this center" records inside the KMeansAndFindNewCenters job. The
+// paper sets it to half the largest Java long: 2^62 ("The value of OFFSET
+// is thus 2^62"), which also caps the algorithm at 2^62 centers.
+const Offset = int64(1) << 62
+
+// HeapBytesPerPoint is the reducer-memory model measured by the paper's
+// first experiment (Figure 2): "Linear regression shows our reducer
+// requires approximatively 64 Bytes (8 doubles) per point."
+const HeapBytesPerPoint = 64
+
+// DefaultMinTestSamples is the minimum projection-sample size for a
+// mapper-side Anderson–Darling decision. The paper: "a minimum size of 8 is
+// considered to be sufficient. In our implementation we use a threshold of
+// 20, to stay on the safe side."
+const DefaultMinTestSamples = 20
+
+// VotePolicy is how the TestFewClusters reducer combines the per-mapper
+// normality decisions of one cluster.
+type VotePolicy int
+
+// Vote policies.
+const (
+	// VoteMajority accepts the Gaussian hypothesis when the majority of
+	// mapper decisions (weighted by sample size) accept it. The default.
+	VoteMajority VotePolicy = iota
+	// VoteAll accepts only when every mapper decision accepts — the
+	// aggressive-splitting extreme.
+	VoteAll
+	// VoteAny accepts when any mapper decision accepts — the conservative
+	// extreme.
+	VoteAny
+)
+
+func (v VotePolicy) String() string {
+	switch v {
+	case VoteAll:
+		return "all"
+	case VoteAny:
+		return "any"
+	default:
+		return "majority"
+	}
+}
+
+// TestStrategy names which normality-test job an iteration used.
+type TestStrategy string
+
+// Strategies.
+const (
+	// StrategyFewClusters tests inside the mapper on split-local samples
+	// (the paper's Algorithm 5), used while k is small.
+	StrategyFewClusters TestStrategy = "TestFewClusters"
+	// StrategyReducer tests inside the reducer on all projections of a
+	// cluster (the paper's Algorithms 3–4).
+	StrategyReducer TestStrategy = "TestClusters"
+)
+
+// Config parameterizes an MR G-means run.
+type Config struct {
+	kmeansmr.Env
+
+	// InitialClusters is the number of clusters the first iteration starts
+	// from (the paper starts with one).
+	InitialClusters int
+	// Alpha is the Anderson–Darling significance level; smaller splits
+	// less. Zero selects 0.0001, the strict level used by the original
+	// G-means paper.
+	Alpha float64
+	// KMeansIterations is the number of refinement iterations per G-means
+	// round, including the KMeansAndFindNewCenters pass. The paper found
+	// two are enough ("we found experimentally that only two k-means
+	// iterations are sufficient"). Zero selects 2.
+	KMeansIterations int
+	// MaxIterations caps the G-means rounds; zero selects 30 (the paper
+	// needed at most 13 on its workloads).
+	MaxIterations int
+	// MaxK stops splitting once this many centers exist (0 = unlimited).
+	MaxK int
+	// MinTestSamples is the smallest projection sample a mapper-side test
+	// will decide on; zero selects DefaultMinTestSamples.
+	MinTestSamples int
+	// MinClusterSize marks clusters smaller than this as final without
+	// testing (they cannot produce a reliable split decision). Zero
+	// selects 2×MinTestSamples.
+	MinClusterSize int64
+	// Vote selects the TestFewClusters decision-combining policy.
+	Vote VotePolicy
+	// Candidates selects how next-round candidate centers are picked:
+	// CandidatesRandom fuses the pick into the last k-means pass (the
+	// paper's KMeansAndFindNewCenters); CandidatesPCA pays the "additional
+	// MapReduce job" the paper mentions to place children along each
+	// cluster's principal component, as the original sequential G-means
+	// does.
+	Candidates CandidatePolicy
+	// ConfirmRounds is the number of consecutive Anderson–Darling accepts
+	// (each against a freshly drawn candidate pair, hence a fresh
+	// projection direction) required before a cluster is frozen. The
+	// paper's Algorithm 1 freezes on the first accept (ConfirmRounds=1),
+	// but under *global* k-means refinement a cluster's two candidates can
+	// both land in one of its true sub-clusters, leaving the projection
+	// vector orthogonal to the real separation — a merged cluster then
+	// passes the test and is frozen forever. Requiring a second opinion
+	// with an independent direction repairs exactly that failure mode and
+	// costs the "few additional iterations" the paper reports needing in
+	// practice. Zero selects 2.
+	ConfirmRounds int
+	// ForceStrategy, when non-empty, pins the test strategy instead of the
+	// paper's hybrid switch rule. Used by ablation benchmarks.
+	ForceStrategy TestStrategy
+	// DisableCombiners turns combiners off in every job, for the shuffle
+	// ablation bench.
+	DisableCombiners bool
+	// MergeRadius, when positive, enables the post-processing step the
+	// paper leaves as future work: centers closer than this are merged
+	// after the loop terminates.
+	MergeRadius float64
+	// Seed drives initial-center picking and candidate sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialClusters <= 0 {
+		c.InitialClusters = 1
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.0001
+	}
+	if c.KMeansIterations <= 0 {
+		c.KMeansIterations = 2
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 30
+	}
+	if c.MinTestSamples <= 0 {
+		c.MinTestSamples = DefaultMinTestSamples
+	}
+	if c.ConfirmRounds <= 0 {
+		c.ConfirmRounds = 2
+	}
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = 2 * int64(c.MinTestSamples)
+	}
+	return c
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if err := c.Env.Validate(); err != nil {
+		return err
+	}
+	if c.Alpha < 0 || c.Alpha >= 1 {
+		return fmt.Errorf("core: alpha must be in (0,1), got %g", c.Alpha)
+	}
+	if c.InitialClusters < 0 {
+		return fmt.Errorf("core: InitialClusters must be non-negative, got %d", c.InitialClusters)
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/vec"
+)
+
+// Result is the outcome of an MR G-means run.
+type Result struct {
+	// Centers are the final cluster centers; K is len(Centers).
+	Centers []vec.Vector
+	K       int
+	// KBeforeMerge is the center count before the optional merge
+	// post-processing (equal to K when merging is disabled).
+	KBeforeMerge int
+	// Iterations is the number of G-means rounds executed.
+	Iterations int
+	// PerIteration holds per-round diagnostics and center snapshots
+	// (paper Figure 1).
+	PerIteration []IterationStats
+	// Counters aggregates engine and application counters over every job
+	// of the run (distance computations, AD tests, shuffle bytes, ...).
+	Counters *mr.Counters
+	Duration time.Duration
+}
+
+// Run executes MR G-means (paper Algorithm 1):
+//
+//	PickInitialCenters
+//	while not ClusteringCompleted:
+//	    KMeans                     (KMeansIterations-1 plain passes)
+//	    KMeansAndFindNewCenters    (last pass + candidate picking)
+//	    TestClusters               (hybrid strategy)
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Counters: mr.NewCounters()}
+
+	active, err := pickInitialCenters(cfg)
+	if err != nil {
+		return nil, err
+	}
+	splits, err := cfg.FS.Splits(cfg.Input)
+	if err != nil {
+		return nil, err
+	}
+	numSplits := len(splits)
+	var found []vec.Vector
+
+	for round := 1; round <= cfg.MaxIterations && len(active) > 0; round++ {
+		roundStart := time.Now()
+		res.Iterations = round
+
+		// --- KMeans: refine every live center (found + candidates). ---
+		centers := liveCenters(found, active)
+		for it := 0; it < cfg.KMeansIterations-1; it++ {
+			itRes, err := kmeansIteration(cfg, centers, round, it)
+			if err != nil {
+				return nil, err
+			}
+			itRes.Job.Counters.MergeInto(res.Counters)
+			centers = itRes.Centers
+		}
+
+		// --- Last k-means pass + candidate picking. ---
+		kfnc, err := lastPassWithCandidates(cfg, centers, round, res.Counters)
+		if err != nil {
+			return nil, err
+		}
+		writeBack(found, active, kfnc)
+		found = kfnc.centers[:len(found)]
+
+		// Pre-finalize clusters too small to test, drop empty ones.
+		var testable []*activeCluster
+		for _, a := range active {
+			switch {
+			case a.parentSize() == 0:
+				// Other clusters absorbed every point: the cluster no
+				// longer exists.
+			case a.parentSize() < cfg.MinClusterSize:
+				found = append(found, a.parent)
+			default:
+				testable = append(testable, a)
+			}
+		}
+
+		// Respect the MaxK cap: finalize everything still in flight.
+		if cfg.MaxK > 0 && len(found)+2*len(testable) > cfg.MaxK {
+			for _, a := range testable {
+				found = append(found, a.parent)
+			}
+			res.PerIteration = append(res.PerIteration, IterationStats{
+				Iteration:    round,
+				Strategy:     "capped",
+				ActiveBefore: len(testable),
+				FoundAfter:   len(found),
+				Centers:      vec.CloneAll(found),
+				Duration:     time.Since(roundStart),
+			})
+			active = nil
+			break
+		}
+
+		// --- Strategy switch (paper §3.2). ---
+		var maxClusterSize, minClusterSize int64
+		for i, a := range testable {
+			s := a.parentSize()
+			if s > maxClusterSize {
+				maxClusterSize = s
+			}
+			if i == 0 || s < minClusterSize {
+				minClusterSize = s
+			}
+		}
+		estHeap := maxClusterSize * HeapBytesPerPoint
+		strategy := chooseStrategy(cfg, len(testable), estHeap, minClusterSize, numSplits)
+
+		// --- TestClusters / TestFewClusters. ---
+		parents := make([]vec.Vector, 0, len(found)+len(testable))
+		parents = append(parents, found...)
+		vectors := make([]vec.Vector, len(testable))
+		for i, a := range testable {
+			parents = append(parents, a.parent)
+			vectors[i] = a.splitVector()
+		}
+		var outcomes []TestOutcome
+		if len(testable) > 0 {
+			var testRes *mr.Result
+			outcomes, testRes, err = runTest(cfg, strategy, parents, len(found), vectors, round)
+			if err != nil {
+				return nil, err
+			}
+			testRes.Counters.MergeInto(res.Counters)
+		}
+
+		// --- Split or finalize. ---
+		var next []*activeCluster
+		splits := 0
+		for i, a := range testable {
+			if outcomes[i].Normal || !outcomes[i].Decided {
+				// Gaussian (or no evidence against it): "keep the original
+				// center, and discard c1 and c2" — but only freeze after
+				// ConfirmRounds consecutive accepts along independent
+				// projection directions (see Config.ConfirmRounds).
+				a.accepts++
+				if a.accepts >= cfg.ConfirmRounds || !outcomes[i].Decided {
+					found = append(found, a.parent)
+					continue
+				}
+				if retest := a.retestWithFreshChildren(); retest != nil {
+					next = append(next, retest)
+				} else {
+					// No fresh candidates survived sampling: freeze.
+					found = append(found, a.parent)
+				}
+				continue
+			}
+			splits++
+			for _, child := range []struct {
+				center vec.Vector
+				size   int64
+				cands  []vec.Vector
+			}{
+				{a.c1, a.size1, a.next1},
+				{a.c2, a.size2, a.next2},
+			} {
+				switch {
+				case child.size == 0:
+					// Empty child: nothing to represent.
+				case child.size < cfg.MinClusterSize || len(child.cands) == 0:
+					found = append(found, child.center)
+				default:
+					na := &activeCluster{parent: child.center, c1: child.cands[0]}
+					if len(child.cands) > 1 {
+						na.c2 = child.cands[1]
+					} else {
+						// Only one distinct candidate survived sampling:
+						// pair it with the child center itself.
+						na.c2 = vec.Clone(child.center)
+					}
+					next = append(next, na)
+				}
+			}
+		}
+		active = next
+
+		res.PerIteration = append(res.PerIteration, IterationStats{
+			Iteration:      round,
+			Strategy:       strategy,
+			ActiveBefore:   len(testable),
+			SplitCount:     splits,
+			FoundAfter:     len(found),
+			Centers:        snapshotCenters(found, active),
+			MaxClusterSize: maxClusterSize,
+			EstimatedHeap:  estHeap,
+			Duration:       time.Since(roundStart),
+		})
+	}
+
+	// Any clusters still active when MaxIterations ran out keep their
+	// parent center.
+	for _, a := range active {
+		found = append(found, a.parent)
+	}
+
+	res.KBeforeMerge = len(found)
+	if cfg.MergeRadius > 0 {
+		found = MergeCloseCenters(found, cfg.MergeRadius)
+	}
+	res.Centers = found
+	res.K = len(found)
+	res.Duration = time.Since(start)
+	if res.K == 0 {
+		return nil, fmt.Errorf("core: no clusters discovered (empty dataset?)")
+	}
+	return res, nil
+}
+
+// pickInitialCenters implements the paper's serial PickInitialCenters: it
+// draws pairs of random points as the first candidate centers. With
+// InitialClusters=1 this is one pair for the whole dataset.
+func pickInitialCenters(cfg Config) ([]*activeCluster, error) {
+	sample, err := kmeansmr.SamplePoints(cfg.Env, 2*cfg.InitialClusters, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	active := make([]*activeCluster, cfg.InitialClusters)
+	for i := range active {
+		c1, c2 := sample[2*i], sample[2*i+1]
+		mid := vec.Scale(vec.Add(c1, c2), 0.5)
+		active[i] = &activeCluster{parent: mid, c1: c1, c2: c2}
+	}
+	return active, nil
+}
+
+// liveCenters builds the center array refined by the k-means jobs:
+// found centers first, then the candidate pairs of each active cluster
+// (c1_i at found+2i, c2_i at found+2i+1).
+func liveCenters(found []vec.Vector, active []*activeCluster) []vec.Vector {
+	out := make([]vec.Vector, 0, len(found)+2*len(active))
+	out = append(out, found...)
+	for _, a := range active {
+		out = append(out, a.c1, a.c2)
+	}
+	return out
+}
+
+// writeBack distributes the refined centers, sizes and candidate picks of
+// the KFNC job back onto the found slice and the active clusters.
+func writeBack(found []vec.Vector, active []*activeCluster, kfnc *kfncOutput) {
+	f := len(found)
+	for i, a := range active {
+		a.c1 = kfnc.centers[f+2*i]
+		a.c2 = kfnc.centers[f+2*i+1]
+		a.size1 = kfnc.sizes[f+2*i]
+		a.size2 = kfnc.sizes[f+2*i+1]
+		a.next1 = kfnc.candidates[f+2*i]
+		a.next2 = kfnc.candidates[f+2*i+1]
+	}
+}
+
+// lastPassWithCandidates runs the round's final refinement pass and picks
+// two next-round candidates per center: either the paper's fused
+// KMeansAndFindNewCenters job (random cluster points, no extra read) or a
+// plain k-means pass followed by the PCA candidate job (principal
+// children, one extra dataset read — the trade-off the paper describes).
+func lastPassWithCandidates(cfg Config, centers []vec.Vector, round int, counters *mr.Counters) (*kfncOutput, error) {
+	if cfg.Candidates == CandidatesPCA {
+		itRes, err := kmeansIteration(cfg, centers, round, cfg.KMeansIterations-1)
+		if err != nil {
+			return nil, err
+		}
+		itRes.Job.Counters.MergeInto(counters)
+		cands, jobRes, err := runPCACandidates(cfg, itRes.Centers, round)
+		if err != nil {
+			return nil, err
+		}
+		jobRes.Counters.MergeInto(counters)
+		return &kfncOutput{centers: itRes.Centers, sizes: itRes.Sizes, candidates: cands}, nil
+	}
+	kfnc, jobRes, err := runKFNC(cfg, centers, round)
+	if err != nil {
+		return nil, err
+	}
+	jobRes.Counters.MergeInto(counters)
+	return kfnc, nil
+}
+
+// kmeansIteration is a thin wrapper around kmeansmr.Iterate that honors the
+// DisableCombiners ablation flag.
+func kmeansIteration(cfg Config, centers []vec.Vector, round, it int) (*kmeansmr.IterationResult, error) {
+	if !cfg.DisableCombiners {
+		return kmeansmr.Iterate(cfg.Env, centers)
+	}
+	return kmeansmr.IterateNoCombiner(cfg.Env, centers, fmt.Sprintf("gmeans-kmeans-%d-%d", round, it))
+}
+
+// chooseStrategy implements the paper's hybrid rule: "first use the
+// TestFewClusters strategy, and switch to the other strategy only when ...
+// the number of clusters to test is larger than the total reduce capacity,
+// and the estimated maximum amount of required heap memory is less than
+// 66% of the heap memory of the JVM."
+//
+// One correctness guard extends the rule. The paper concedes the
+// mapper-side test "only delivers correct results if the number of samples
+// for each subset is sufficient, which we can suppose is verified for low
+// values of k" — a safe supposition at 10M points per 64MB split, but not
+// in general. When the smallest cluster under test cannot hand every
+// mapper a decidable sample (expected split-local sample below
+// MinTestSamples), the reducer-side test is used instead, heap permitting:
+// accepting a cluster on an undecidable sample would freeze it forever.
+func chooseStrategy(cfg Config, numToTest int, estHeap, minClusterSize int64, numSplits int) TestStrategy {
+	if cfg.ForceStrategy != "" {
+		return cfg.ForceStrategy
+	}
+	heapFits := estHeap <= cfg.Cluster.PlannableHeap()
+	if numToTest > cfg.Cluster.ReduceCapacity() && heapFits {
+		return StrategyReducer
+	}
+	if numSplits > 0 && minClusterSize/int64(numSplits) < int64(cfg.MinTestSamples) && heapFits {
+		return StrategyReducer
+	}
+	return StrategyFewClusters
+}
+
+func snapshotCenters(found []vec.Vector, active []*activeCluster) []vec.Vector {
+	return vec.CloneAll(liveCenters(found, active))
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/stats"
+	"gmeansmr/internal/vec"
+)
+
+// Application counters specific to G-means.
+const (
+	// CounterADTests counts Anderson–Darling test executions, the O(k)
+	// term of the paper's cost model.
+	CounterADTests = "app.ad.tests"
+	// CounterProjections counts point projections computed by test jobs.
+	CounterProjections = "app.projections"
+)
+
+// ---------------------------------------------------------------------------
+// KMeansAndFindNewCenters (paper Algorithm 2)
+// ---------------------------------------------------------------------------
+
+// kfncMapper performs the last k-means assignment of the round and emits
+// every point a second time under key+Offset so the reduce side can pick
+// two candidate next-iteration centers per current center. "The coordinates
+// of each point are emitted twice. This doubles the quantity of data to be
+// shuffled ... largely mitigated by the use of a combiner."
+type kfncMapper struct {
+	env     kmeansmr.Env
+	centers []vec.Vector
+	nearest func(vec.Vector) (int, float64, int64)
+}
+
+func (m *kfncMapper) Setup(*mr.TaskContext) error {
+	m.nearest = m.env.NearestFunc(m.centers)
+	return nil
+}
+
+func (m *kfncMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
+	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
+	if err != nil {
+		return err
+	}
+	best, _, comps := m.nearest(p)
+	ctx.Counter(kmeansmr.CounterDistances, comps)
+	ctx.Counter(kmeansmr.CounterPoints, 1)
+	// Both values share the parsed vector: the k-means reduction only
+	// accumulates into its own sums and the candidate path re-emits
+	// values verbatim, so no copy is needed.
+	wp := mr.OwnWeightedPointValue(p)
+	emit.Emit(int64(best), wp)
+	emit.Emit(int64(best)+Offset, wp)
+	return nil
+}
+
+func (m *kfncMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// kfncReducer serves as combiner and reducer of KMeansAndFindNewCenters:
+// "the combiner and reducer test the value of the key. If it is larger than
+// the predefined offset, they keep only 2 new centers per cluster.
+// Otherwise they perform classical k-means reduction."
+//
+// Candidate selection is seeded by (run seed, key) rather than task id, so
+// the picked candidates do not depend on how keys were partitioned across
+// reduce tasks — runs on differently-sized clusters stay bit-identical,
+// which the node-scaling experiment relies on.
+type kfncReducer struct {
+	seed int64
+}
+
+func (r *kfncReducer) Setup(*mr.TaskContext) error { return nil }
+
+func (r *kfncReducer) Reduce(ctx *mr.TaskContext, key int64, values []mr.Value, emit mr.Emitter) error {
+	if key < Offset {
+		return kmeansmr.MergeReducer{}.Reduce(ctx, key, values, emit)
+	}
+	// Candidate stream: keep two of the incoming points (each value is a
+	// single point or a survivor of a previous combine round).
+	switch len(values) {
+	case 0:
+		return nil
+	case 1:
+		emit.Emit(key, values[0])
+	case 2:
+		emit.Emit(key, values[0])
+		emit.Emit(key, values[1])
+	default:
+		rng := rand.New(rand.NewSource(r.seed*1_000_003 ^ key))
+		i := rng.Intn(len(values))
+		j := rng.Intn(len(values) - 1)
+		if j >= i {
+			j++
+		}
+		emit.Emit(key, values[i])
+		emit.Emit(key, values[j])
+	}
+	return nil
+}
+
+func (r *kfncReducer) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// kfncOutput is the driver-side decoding of the job's output.
+type kfncOutput struct {
+	centers    []vec.Vector
+	sizes      []int64
+	candidates [][]vec.Vector // ≤2 candidate points per center
+}
+
+// runKFNC runs the KMeansAndFindNewCenters job over the given centers.
+func runKFNC(cfg Config, centers []vec.Vector, round int) (*kfncOutput, *mr.Result, error) {
+	job := &mr.Job{
+		Name:    fmt.Sprintf("gmeans-kfnc-round-%d", round),
+		FS:      cfg.FS,
+		Cluster: cfg.Cluster,
+		Input:   []string{cfg.Input},
+		NewMapper: func() mr.Mapper {
+			return &kfncMapper{env: cfg.Env, centers: centers}
+		},
+		NewReducer: func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} },
+	}
+	if !cfg.DisableCombiners {
+		job.NewCombiner = func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} }
+	}
+	res, err := job.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &kfncOutput{
+		centers:    vec.CloneAll(centers),
+		sizes:      make([]int64, len(centers)),
+		candidates: make([][]vec.Vector, len(centers)),
+	}
+	for _, kv := range res.Output {
+		wp, ok := kv.Value.(mr.WeightedPointValue)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: unexpected KFNC output value %T", kv.Value)
+		}
+		if kv.Key >= Offset {
+			idx := kv.Key - Offset
+			if idx < 0 || idx >= int64(len(centers)) {
+				return nil, nil, fmt.Errorf("core: KFNC candidate key %d out of range", kv.Key)
+			}
+			if len(out.candidates[idx]) < 2 {
+				out.candidates[idx] = append(out.candidates[idx], wp.Centroid())
+			}
+			continue
+		}
+		if kv.Key < 0 || kv.Key >= int64(len(centers)) {
+			return nil, nil, fmt.Errorf("core: KFNC key %d out of range", kv.Key)
+		}
+		if wp.Count > 0 {
+			out.centers[kv.Key] = wp.Centroid()
+			out.sizes[kv.Key] = wp.Count
+		}
+	}
+	return out, res, nil
+}
+
+// ---------------------------------------------------------------------------
+// TestClusters (paper Algorithms 3–4): reducer-side Anderson–Darling
+// ---------------------------------------------------------------------------
+
+// testMapper assigns each point to its cluster (a center of the *previous*
+// iteration) and projects it on the vector joining the cluster's two
+// current candidate centers. Clusters already marked found emit nothing.
+//
+// parents[0:foundCount] are final centers; parents[foundCount+i] is the
+// parent of active cluster i, whose split vector is vectors[i].
+type testMapper struct {
+	env        kmeansmr.Env
+	parents    []vec.Vector
+	foundCount int
+	vectors    []vec.Vector
+	nearest    func(vec.Vector) (int, float64, int64)
+}
+
+func (m *testMapper) Setup(*mr.TaskContext) error {
+	m.nearest = m.env.NearestFunc(m.parents)
+	return nil
+}
+
+func (m *testMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
+	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
+	if err != nil {
+		return err
+	}
+	best, _, comps := m.nearest(p)
+	ctx.Counter(kmeansmr.CounterDistances, comps)
+	if best < m.foundCount {
+		return nil // point belongs to a cluster already accepted as Gaussian
+	}
+	i := best - m.foundCount
+	proj := vec.Project(p, m.vectors[i])
+	ctx.Counter(CounterProjections, 1)
+	emit.Emit(int64(i), mr.Float64Value(proj))
+	return nil
+}
+
+func (m *testMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// testReducer normalizes the projections of one cluster and runs the
+// Anderson–Darling test (paper Algorithm 4). It reserves heap per the
+// paper's measured 64 B/point model, so undersized task heaps fail exactly
+// like the paper's "Java heap space" crashes (Figure 2).
+type testReducer struct {
+	alpha float64
+	minN  int
+}
+
+func (r *testReducer) Setup(*mr.TaskContext) error { return nil }
+
+func (r *testReducer) Reduce(ctx *mr.TaskContext, key int64, values []mr.Value, emit mr.Emitter) error {
+	heap := int64(len(values)) * HeapBytesPerPoint
+	if err := ctx.ReserveHeap(heap); err != nil {
+		return err
+	}
+	defer ctx.ReleaseHeap(heap)
+
+	projections := make([]float64, 0, len(values))
+	for _, v := range values {
+		f, ok := v.(mr.Float64Value)
+		if !ok {
+			return fmt.Errorf("core: unexpected projection value %T", v)
+		}
+		projections = append(projections, float64(f))
+	}
+	ctx.Counter(CounterADTests, 1)
+	res, err := stats.ADTest(projections, r.alpha, r.minN)
+	if err != nil {
+		// Not enough samples for a verdict: report "undecided accept".
+		emit.Emit(key, mr.ADDecisionValue{N: int64(len(projections)), Normal: true})
+		return nil
+	}
+	emit.Emit(key, mr.ADDecisionValue{A2Star: res.A2Star, N: int64(res.N), Normal: res.Normal})
+	return nil
+}
+
+func (r *testReducer) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// ---------------------------------------------------------------------------
+// TestFewClusters (paper Algorithm 5): mapper-side Anderson–Darling
+// ---------------------------------------------------------------------------
+
+// fewMapper buffers the projections of every cluster it sees in its split
+// and tests them locally in Close, emitting one A*² decision per cluster —
+// "the test for normality is directly performed by the mapper, thus on
+// subsets of data", which keeps reduce-phase parallelism from bounding the
+// job while k is small.
+type fewMapper struct {
+	env        kmeansmr.Env
+	parents    []vec.Vector
+	foundCount int
+	vectors    []vec.Vector
+	alpha      float64
+	minN       int
+
+	lists   map[int][]float64
+	nearest func(vec.Vector) (int, float64, int64)
+}
+
+func (m *fewMapper) Setup(*mr.TaskContext) error {
+	m.lists = make(map[int][]float64)
+	m.nearest = m.env.NearestFunc(m.parents)
+	return nil
+}
+
+func (m *fewMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
+	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
+	if err != nil {
+		return err
+	}
+	best, _, comps := m.nearest(p)
+	ctx.Counter(kmeansmr.CounterDistances, comps)
+	if best < m.foundCount {
+		return nil
+	}
+	i := best - m.foundCount
+	// One double per buffered projection: the mapper-side memory footprint
+	// is O(split size / dimension), the bound the paper relies on.
+	if err := ctx.ReserveHeap(8); err != nil {
+		return err
+	}
+	m.lists[i] = append(m.lists[i], vec.Project(p, m.vectors[i]))
+	ctx.Counter(CounterProjections, 1)
+	return nil
+}
+
+func (m *fewMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
+	for i, projections := range m.lists {
+		if len(projections) < m.minN {
+			// "There is a risk that the number of points in some clusters
+			// is smaller than the threshold. The mapper is then not able to
+			// compute a decision."
+			continue
+		}
+		ctx.Counter(CounterADTests, 1)
+		res, err := stats.ADTest(projections, m.alpha, m.minN)
+		if err != nil {
+			continue
+		}
+		emit.Emit(int64(i), mr.ADDecisionValue{A2Star: res.A2Star, N: int64(res.N), Normal: res.Normal})
+	}
+	return nil
+}
+
+// fewReducer combines the mapper decisions of one cluster: "their task is
+// only to combine the decisions taken by mappers". The combining rule is
+// the configurable VotePolicy (sample-size-weighted majority by default).
+type fewReducer struct {
+	vote VotePolicy
+}
+
+func (r *fewReducer) Setup(*mr.TaskContext) error { return nil }
+
+func (r *fewReducer) Reduce(_ *mr.TaskContext, key int64, values []mr.Value, emit mr.Emitter) error {
+	var normalN, totalN int64
+	var wsum float64
+	anyNormal, allNormal := false, true
+	for _, v := range values {
+		d, ok := v.(mr.ADDecisionValue)
+		if !ok {
+			return fmt.Errorf("core: unexpected decision value %T", v)
+		}
+		totalN += d.N
+		wsum += d.A2Star * float64(d.N)
+		if d.Normal {
+			normalN += d.N
+			anyNormal = true
+		} else {
+			allNormal = false
+		}
+	}
+	if totalN == 0 {
+		return nil
+	}
+	var normal bool
+	switch r.vote {
+	case VoteAll:
+		normal = allNormal
+	case VoteAny:
+		normal = anyNormal
+	default:
+		normal = normalN*2 >= totalN
+	}
+	emit.Emit(key, mr.ADDecisionValue{A2Star: wsum / float64(totalN), N: totalN, Normal: normal})
+	return nil
+}
+
+func (r *fewReducer) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// runTest runs the selected normality-test job and returns one outcome per
+// active cluster (indexed like the active slice); clusters with no decision
+// come back Decided=false.
+func runTest(cfg Config, strategy TestStrategy, parents []vec.Vector, foundCount int, vectors []vec.Vector, round int) ([]TestOutcome, *mr.Result, error) {
+	numActive := len(vectors)
+	job := &mr.Job{
+		Name:    fmt.Sprintf("gmeans-%s-round-%d", strategy, round),
+		FS:      cfg.FS,
+		Cluster: cfg.Cluster,
+		Input:   []string{cfg.Input},
+		// "The number of reduce tasks is still equal to k": one partition
+		// per cluster under test.
+		NumReducers: numActive,
+	}
+	switch strategy {
+	case StrategyReducer:
+		job.NewMapper = func() mr.Mapper {
+			return &testMapper{env: cfg.Env, parents: parents, foundCount: foundCount, vectors: vectors}
+		}
+		job.NewReducer = func() mr.Reducer { return &testReducer{alpha: cfg.Alpha, minN: cfg.MinTestSamples} }
+	case StrategyFewClusters:
+		job.NewMapper = func() mr.Mapper {
+			return &fewMapper{env: cfg.Env, parents: parents, foundCount: foundCount,
+				vectors: vectors, alpha: cfg.Alpha, minN: cfg.MinTestSamples}
+		}
+		job.NewReducer = func() mr.Reducer { return &fewReducer{vote: cfg.Vote} }
+	default:
+		return nil, nil, fmt.Errorf("core: unknown test strategy %q", strategy)
+	}
+	res, err := job.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	outcomes := make([]TestOutcome, numActive)
+	for _, kv := range res.Output {
+		d, ok := kv.Value.(mr.ADDecisionValue)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: unexpected test output %T", kv.Value)
+		}
+		if kv.Key < 0 || kv.Key >= int64(numActive) {
+			return nil, nil, fmt.Errorf("core: test output key %d out of range", kv.Key)
+		}
+		outcomes[kv.Key] = TestOutcome{A2Star: d.A2Star, N: d.N, Normal: d.Normal, Decided: true}
+	}
+	return outcomes, res, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"gmeansmr/internal/vec"
+)
+
+// activeCluster is one cluster still under test. Naming follows the paper:
+// the *parent* is the cluster's center from the previous iteration (what
+// TestClusters assigns points to), c1/c2 are the two candidate children
+// being refined in the current iteration, and next1/next2 hold the
+// candidate grandchildren that KMeansAndFindNewCenters picked for c1 and c2
+// — used only if the cluster fails the normality test and splits.
+type activeCluster struct {
+	parent vec.Vector
+	c1, c2 vec.Vector
+	// size1 and size2 are the point counts assigned to c1 and c2 at the
+	// last k-means pass; their sum approximates the parent cluster size
+	// that drives the heap estimate of the strategy switch.
+	size1, size2 int64
+	// next1 and next2 are the ≤2 candidate centers picked for c1 and c2.
+	next1, next2 []vec.Vector
+	// accepts counts consecutive Anderson–Darling accepts; the cluster is
+	// frozen only after Config.ConfirmRounds of them (each with freshly
+	// drawn candidate children, i.e. a fresh projection direction).
+	accepts int
+}
+
+func (a *activeCluster) parentSize() int64 { return a.size1 + a.size2 }
+
+// retestWithFreshChildren builds the next-round cluster for a
+// once-accepted parent: same parent center, but a freshly drawn candidate
+// pair so the next Anderson–Darling test projects along an independent
+// direction. The fresh pair comes from the candidates the
+// KMeansAndFindNewCenters job already picked for the two children — random
+// points of the parent's cluster — so no extra job is needed. Returns nil
+// when sampling produced fewer than two distinct candidates.
+func (a *activeCluster) retestWithFreshChildren() *activeCluster {
+	var cands []vec.Vector
+	cands = append(cands, a.next1...)
+	cands = append(cands, a.next2...)
+	if len(cands) < 2 {
+		return nil
+	}
+	// Prefer one candidate from each child's pool (first of next1, last of
+	// next2) for a direction spanning the whole cluster.
+	return &activeCluster{
+		parent:  a.parent,
+		c1:      cands[0],
+		c2:      cands[len(cands)-1],
+		accepts: a.accepts,
+	}
+}
+
+// splitVector is v = c1 − c2, "the direction that k-means believes is
+// important for clustering" (paper §2).
+func (a *activeCluster) splitVector() vec.Vector { return vec.Sub(a.c1, a.c2) }
+
+// IterationStats records one G-means round for reporting and for the
+// paper's Figure 1 (evolution of centers across iterations).
+type IterationStats struct {
+	Iteration int
+	// Strategy is the normality-test job the round used.
+	Strategy TestStrategy
+	// ActiveBefore is the number of clusters under test this round.
+	ActiveBefore int
+	// SplitCount is how many of them failed the test and split.
+	SplitCount int
+	// FoundAfter is the cumulative number of final centers after the round.
+	FoundAfter int
+	// Centers snapshots every center alive at the end of the round (final
+	// + candidate children), for plotting.
+	Centers []vec.Vector
+	// MaxClusterSize is the size estimate of the largest cluster under
+	// test, the input of the heap-based strategy switch.
+	MaxClusterSize int64
+	// EstimatedHeap is MaxClusterSize × HeapBytesPerPoint.
+	EstimatedHeap int64
+	Duration      time.Duration
+}
+
+// TestOutcome reports one cluster's Anderson–Darling verdict to callers
+// that want per-cluster diagnostics.
+type TestOutcome struct {
+	// A2Star is the corrected statistic (sample-size-weighted mean of the
+	// per-mapper statistics under TestFewClusters).
+	A2Star float64
+	// N is the number of projections that contributed.
+	N int64
+	// Normal is the combined verdict.
+	Normal bool
+	// Decided is false when no test produced enough samples to decide;
+	// undecided clusters are accepted (fail-to-reject convention).
+	Decided bool
+}

@@ -1,0 +1,310 @@
+// Package dataset generates the synthetic workloads of the paper's
+// evaluation — Gaussian mixtures with a known number of clusters in R^d —
+// and provides the text encoding the MapReduce jobs consume (one point per
+// line, space-separated coordinates, matching the paper's "point (text)"
+// input format and its ~15-characters-per-dimension storage model).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/vec"
+)
+
+// Spec describes a synthetic Gaussian-mixture dataset. The defaults mirror
+// the paper's generator: cluster centers drawn uniformly in
+// [0, CenterRange]^Dim, points drawn isotropically around their center with
+// standard deviation StdDev.
+type Spec struct {
+	// K is the true number of clusters.
+	K int
+	// Dim is the dimensionality (the paper uses R² for illustrations and
+	// R¹⁰ for the large runs).
+	Dim int
+	// N is the total number of points, spread (near-)evenly over clusters.
+	N int
+	// CenterRange is the side of the hypercube centers are drawn from;
+	// zero selects 100, the range visible in the paper's Figures 1 and 4.
+	CenterRange float64
+	// StdDev is the per-coordinate standard deviation of each cluster;
+	// zero selects 1.0.
+	StdDev float64
+	// MinSeparation, when positive, enforces a minimum pairwise distance
+	// between generated centers by rejection sampling, so the "true k" is
+	// well defined. A value around 6×StdDev keeps overlaps negligible.
+	MinSeparation float64
+	// Weights, when non-nil, sets the relative cluster sizes (must have
+	// K positive entries). Nil means equal sizes. Skewed weights exercise
+	// the "skewed data" reducer-imbalance concern the paper leaves as
+	// future work.
+	Weights []float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.CenterRange == 0 {
+		s.CenterRange = 100
+	}
+	if s.StdDev == 0 {
+		s.StdDev = 1
+	}
+	return s
+}
+
+// Validate reports a configuration error, if any.
+func (s Spec) Validate() error {
+	switch {
+	case s.K <= 0:
+		return fmt.Errorf("dataset: K must be positive, got %d", s.K)
+	case s.Dim <= 0:
+		return fmt.Errorf("dataset: Dim must be positive, got %d", s.Dim)
+	case s.N < s.K:
+		return fmt.Errorf("dataset: N (%d) must be at least K (%d)", s.N, s.K)
+	}
+	if s.Weights != nil {
+		if len(s.Weights) != s.K {
+			return fmt.Errorf("dataset: %d weights for K=%d clusters", len(s.Weights), s.K)
+		}
+		for i, w := range s.Weights {
+			if w <= 0 {
+				return fmt.Errorf("dataset: weight %d is %g, must be positive", i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Dataset is a fully materialized synthetic mixture with ground truth.
+type Dataset struct {
+	Spec    Spec
+	Points  []vec.Vector
+	Labels  []int        // ground-truth cluster of each point
+	Centers []vec.Vector // ground-truth cluster centers
+}
+
+// Generate materializes the dataset described by the spec.
+func Generate(spec Spec) (*Dataset, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	centers := sampleCenters(rng, spec)
+
+	points := make([]vec.Vector, spec.N)
+	labels := make([]int, spec.N)
+	assignCluster := clusterAssigner(spec)
+	for i := 0; i < spec.N; i++ {
+		c := assignCluster(i)
+		p := make(vec.Vector, spec.Dim)
+		for d := 0; d < spec.Dim; d++ {
+			p[d] = centers[c][d] + rng.NormFloat64()*spec.StdDev
+		}
+		points[i] = p
+		labels[i] = c
+	}
+	// Shuffle so splits don't align with clusters; mapper-side tests in
+	// TestFewClusters assume splits sample all clusters.
+	rng.Shuffle(spec.N, func(i, j int) {
+		points[i], points[j] = points[j], points[i]
+		labels[i], labels[j] = labels[j], labels[i]
+	})
+	return &Dataset{Spec: spec, Points: points, Labels: labels, Centers: centers}, nil
+}
+
+// clusterAssigner maps point index → cluster label. Equal weights use
+// round-robin (near-equal cluster sizes, as in the paper's generator);
+// explicit weights use largest-remainder apportionment so cluster sizes
+// match the weights exactly up to rounding, deterministically.
+func clusterAssigner(spec Spec) func(int) int {
+	if spec.Weights == nil {
+		return func(i int) int { return i % spec.K }
+	}
+	var total float64
+	for _, w := range spec.Weights {
+		total += w
+	}
+	// Integer shares by largest remainder.
+	counts := make([]int, spec.K)
+	type rem struct {
+		c    int
+		frac float64
+	}
+	rems := make([]rem, spec.K)
+	assigned := 0
+	for c, w := range spec.Weights {
+		exact := float64(spec.N) * w / total
+		counts[c] = int(exact)
+		rems[c] = rem{c: c, frac: exact - float64(counts[c])}
+		assigned += counts[c]
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].c < rems[b].c
+	})
+	for i := 0; assigned < spec.N; i, assigned = (i+1)%spec.K, assigned+1 {
+		counts[rems[i].c]++
+	}
+	// Flatten into a lookup: points [0,counts[0]) → cluster 0, etc. The
+	// generator shuffles afterwards, so contiguity doesn't leak into
+	// splits.
+	boundaries := make([]int, spec.K)
+	acc := 0
+	for c, n := range counts {
+		acc += n
+		boundaries[c] = acc
+	}
+	return func(i int) int {
+		for c, b := range boundaries {
+			if i < b {
+				return c
+			}
+		}
+		return spec.K - 1
+	}
+}
+
+func sampleCenters(rng *rand.Rand, spec Spec) []vec.Vector {
+	centers := make([]vec.Vector, 0, spec.K)
+	minSep2 := spec.MinSeparation * spec.MinSeparation
+	const maxTries = 10000
+	for len(centers) < spec.K {
+		tries := 0
+		for {
+			c := make(vec.Vector, spec.Dim)
+			for d := range c {
+				c[d] = rng.Float64() * spec.CenterRange
+			}
+			if spec.MinSeparation <= 0 || farEnough(c, centers, minSep2) || tries >= maxTries {
+				centers = append(centers, c)
+				break
+			}
+			tries++
+		}
+	}
+	return centers
+}
+
+func farEnough(c vec.Vector, centers []vec.Vector, minSep2 float64) bool {
+	for _, o := range centers {
+		if vec.Dist2(c, o) < minSep2 {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatPoint encodes a point as the engine's text record: space-separated
+// coordinates in Go's shortest round-trip float format.
+func FormatPoint(p vec.Vector) string {
+	var b strings.Builder
+	b.Grow(len(p) * 18)
+	for i, x := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// ParsePoint decodes a text record produced by FormatPoint. It allocates
+// exactly one vector and tolerates repeated separators.
+func ParsePoint(line string) (vec.Vector, error) {
+	var out vec.Vector
+	i := 0
+	n := len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		j := i
+		for j < n && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		x, err := strconv.ParseFloat(line[i:j], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad coordinate %q: %w", line[i:j], err)
+		}
+		out = append(out, x)
+		i = j
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dataset: empty point record")
+	}
+	return out, nil
+}
+
+// ParsePointDim decodes a point when the dimensionality is known, avoiding
+// the growth reallocations of ParsePoint. It is the hot path of every
+// mapper in the repository.
+func ParsePointDim(line string, dim int) (vec.Vector, error) {
+	out := make(vec.Vector, 0, dim)
+	i, n := 0, len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		j := i
+		for j < n && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		x, err := strconv.ParseFloat(line[i:j], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: bad coordinate %q: %w", line[i:j], err)
+		}
+		out = append(out, x)
+		i = j
+	}
+	if len(out) != dim {
+		return nil, fmt.Errorf("dataset: expected %d coordinates, got %d", dim, len(out))
+	}
+	return out, nil
+}
+
+// WriteToDFS stores the dataset's points (no labels: the algorithms are
+// unsupervised) as a text file in the simulated DFS.
+func (d *Dataset) WriteToDFS(fs *dfs.FS, path string) {
+	w := fs.Writer(path)
+	for _, p := range d.Points {
+		w.WriteString(FormatPoint(p))
+		w.WriteString("\n")
+	}
+	w.Close()
+}
+
+// LoadPoints reads every point of a DFS text file into memory. Intended
+// for tests, examples and sequential baselines — the MapReduce jobs stream
+// splits instead.
+func LoadPoints(fs *dfs.FS, path string) ([]vec.Vector, error) {
+	lines, err := fs.ReadLines(path)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]vec.Vector, 0, len(lines))
+	for _, ln := range lines {
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		p, err := ParsePoint(ln)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

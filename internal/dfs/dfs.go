@@ -1,0 +1,349 @@
+// Package dfs simulates the distributed file system underneath the
+// MapReduce engine: line-oriented files divided into fixed-size splits,
+// exactly like HDFS text files feeding Hadoop's TextInputFormat.
+//
+// The paper's cost model counts "dataset reads" as the dominant I/O cost of
+// chained MapReduce jobs (G-means pays O(log2 k) reads, multi-k-means one
+// read per iteration). This package tracks those reads so the experiment
+// harness can report them alongside wall-clock time.
+//
+// Files live in memory as byte slices. That is a deliberate substitution
+// for HDFS blocks on spinning disks: the algorithms under study never
+// observe storage latency directly, only (a) how many times the dataset is
+// scanned and (b) how records are partitioned into splits — both of which
+// are modeled faithfully.
+package dfs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSplitSize mirrors the 64 MB default HDFS block size mentioned in
+// the paper ("the size of a single split (64MB on a default Hadoop
+// installation)").
+const DefaultSplitSize = 64 << 20
+
+// ErrNotFound is returned when a path does not exist in the file system.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// FS is an in-memory simulated distributed file system.
+//
+// All methods are safe for concurrent use. Read accounting is monotonic and
+// survives file deletion (the counters describe the history of the
+// computation, not the current state of storage).
+type FS struct {
+	mu        sync.RWMutex
+	files     map[string]*file
+	splitSize int
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	// datasetReads counts whole-file scan passes (one per OpenAll or per
+	// complete set of split readers consumed); this is the paper's "dataset
+	// read" unit.
+	datasetReads atomic.Int64
+}
+
+type file struct {
+	data []byte
+}
+
+// New creates an empty file system with the given split size. A
+// non-positive splitSize selects DefaultSplitSize.
+func New(splitSize int) *FS {
+	if splitSize <= 0 {
+		splitSize = DefaultSplitSize
+	}
+	return &FS{files: make(map[string]*file), splitSize: splitSize}
+}
+
+// SplitSize returns the configured split size in bytes.
+func (fs *FS) SplitSize() int { return fs.splitSize }
+
+// BytesRead returns the total number of bytes served to readers so far.
+func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
+
+// BytesWritten returns the total number of bytes written so far.
+func (fs *FS) BytesWritten() int64 { return fs.bytesWritten.Load() }
+
+// DatasetReads returns the number of whole-dataset scan passes recorded.
+func (fs *FS) DatasetReads() int64 { return fs.datasetReads.Load() }
+
+// ResetCounters zeroes the I/O accounting. File contents are untouched.
+func (fs *FS) ResetCounters() {
+	fs.bytesRead.Store(0)
+	fs.bytesWritten.Store(0)
+	fs.datasetReads.Store(0)
+}
+
+// Create replaces the file at path with the given contents.
+func (fs *FS) Create(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.files[path] = &file{data: cp}
+	fs.bytesWritten.Add(int64(len(data)))
+}
+
+// Writer returns a buffered writer that materializes into path on Close.
+// Writing to an existing path overwrites it atomically at Close time.
+func (fs *FS) Writer(path string) *FileWriter {
+	return &FileWriter{fs: fs, path: path}
+}
+
+// FileWriter accumulates bytes and commits them to the FS on Close.
+type FileWriter struct {
+	fs   *FS
+	path string
+	buf  bytes.Buffer
+}
+
+// Write appends p to the pending file contents.
+func (w *FileWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+// WriteString appends s to the pending file contents.
+func (w *FileWriter) WriteString(s string) (int, error) { return w.buf.WriteString(s) }
+
+// Close commits the buffered contents to the file system.
+func (w *FileWriter) Close() error {
+	w.fs.Create(w.path, w.buf.Bytes())
+	return nil
+}
+
+// Delete removes a file. Deleting a missing file is a no-op.
+func (fs *FS) Delete(path string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path)
+}
+
+// Exists reports whether path is present.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the length in bytes of the file at path.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return int64(len(f.data)), nil
+}
+
+// List returns the sorted paths currently stored.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadAll returns a copy of the file contents and accounts one dataset read.
+func (fs *FS) ReadAll(path string) ([]byte, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[path]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	cp := make([]byte, len(f.data))
+	copy(cp, f.data)
+	fs.bytesRead.Add(int64(len(cp)))
+	fs.datasetReads.Add(1)
+	return cp, nil
+}
+
+// Split identifies one contiguous byte range of a file, aligned to record
+// (line) boundaries the same way Hadoop's TextInputFormat aligns splits: a
+// reader assigned [Start, End) consumes the first record that *begins* at
+// or after Start and the record that straddles End.
+type Split struct {
+	Path  string
+	Index int
+	Start int64
+	End   int64 // exclusive
+}
+
+// Splits partitions the file at path into splits of the file system's split
+// size. The final split absorbs the remainder. An empty file yields no
+// splits.
+func (fs *FS) Splits(path string) ([]Split, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[path]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	total := int64(len(f.data))
+	if total == 0 {
+		return nil, nil
+	}
+	ss := int64(fs.splitSize)
+	var out []Split
+	for off, i := int64(0), 0; off < total; off, i = off+ss, i+1 {
+		end := off + ss
+		if end > total {
+			end = total
+		}
+		out = append(out, Split{Path: path, Index: i, Start: off, End: end})
+	}
+	return out, nil
+}
+
+// CountDatasetRead records one whole-dataset scan. The MapReduce engine
+// calls this once per job input, since every map wave collectively reads
+// the input exactly once.
+func (fs *FS) CountDatasetRead() { fs.datasetReads.Add(1) }
+
+// OpenSplit returns a RecordReader over the records of the given split.
+func (fs *FS) OpenSplit(sp Split) (*RecordReader, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[sp.Path]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, sp.Path)
+	}
+	return newRecordReader(fs, f.data, sp), nil
+}
+
+// RecordReader iterates the newline-delimited records of a split using the
+// Hadoop alignment convention (skip a partial leading record unless the
+// split starts at byte 0; read through the record straddling End).
+//
+// Byte accounting is buffered locally and published to the file system
+// when the reader is exhausted: dozens of concurrent map tasks hammering
+// one atomic counter per record would serialize the map wave.
+type RecordReader struct {
+	fs      *FS
+	data    []byte
+	pos     int64
+	end     int64
+	done    bool
+	pending int64
+}
+
+func newRecordReader(fs *FS, data []byte, sp Split) *RecordReader {
+	r := &RecordReader{fs: fs, data: data, pos: sp.Start, end: sp.End}
+	if sp.Start > 0 {
+		// Skip the tail of the record owned by the previous split.
+		idx := bytes.IndexByte(data[sp.Start:], '\n')
+		if idx < 0 {
+			r.done = true
+		} else {
+			r.pos = sp.Start + int64(idx) + 1
+		}
+	}
+	return r
+}
+
+// Next returns the next record (without its trailing newline) and true, or
+// ("", false) when the split is exhausted. Returned strings are copies and
+// remain valid indefinitely.
+func (r *RecordReader) Next() (string, bool) {
+	// Hadoop's LineRecordReader reads every record whose first byte lies at
+	// or before End (inclusive); the matching skip rule in newRecordReader
+	// guarantees each record is owned by exactly one split.
+	if r.done || r.pos > r.end || r.pos >= int64(len(r.data)) {
+		r.done = true
+		r.flush()
+		return "", false
+	}
+	idx := bytes.IndexByte(r.data[r.pos:], '\n')
+	var rec []byte
+	if idx < 0 {
+		rec = r.data[r.pos:]
+		r.pos = int64(len(r.data))
+		r.done = true
+	} else {
+		rec = r.data[r.pos : r.pos+int64(idx)]
+		r.pos += int64(idx) + 1
+	}
+	r.pending += int64(len(rec)) + 1
+	if r.done {
+		r.flush()
+	}
+	return string(rec), true
+}
+
+func (r *RecordReader) flush() {
+	if r.pending != 0 {
+		r.fs.bytesRead.Add(r.pending)
+		r.pending = 0
+	}
+}
+
+// WriteLines joins lines with '\n' and stores them at path. A trailing
+// newline terminates the file when any lines are present.
+func (fs *FS) WriteLines(path string, lines []string) {
+	var buf bytes.Buffer
+	for _, ln := range lines {
+		buf.WriteString(ln)
+		buf.WriteByte('\n')
+	}
+	fs.Create(path, buf.Bytes())
+}
+
+// ReadLines returns all records of the file at path in order. It accounts
+// one dataset read.
+func (fs *FS) ReadLines(path string) ([]string, error) {
+	data, err := fs.ReadAll(path)
+	if err != nil {
+		return nil, err
+	}
+	return splitLines(data), nil
+}
+
+func splitLines(data []byte) []string {
+	var out []string
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out
+}
+
+// ImportLocal loads an operating-system file into the simulated FS. It is
+// used by the CLI tools so datasets generated with cmd/datagen can be fed
+// to the engine.
+func (fs *FS) ImportLocal(osPath, dfsPath string) error {
+	f, err := os.Open(osPath)
+	if err != nil {
+		return fmt.Errorf("dfs: import %s: %w", osPath, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("dfs: import %s: %w", osPath, err)
+	}
+	fs.Create(dfsPath, data)
+	return nil
+}
+
+// ExportLocal writes a simulated file out to the operating system.
+func (fs *FS) ExportLocal(dfsPath, osPath string) error {
+	data, err := fs.ReadAll(dfsPath)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(osPath, data, 0o644)
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+
+	"gmeansmr/internal/vec"
+)
+
+// asciiScatter renders 2-D points and centers on a terminal grid, the
+// stand-in for the paper's scatter plots (Figures 1 and 4). Data points
+// render as '.', centers as 'X'.
+func asciiScatter(points []vec.Vector, centers []vec.Vector, width, height int, maxPoints int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 24
+	}
+	lo, hi := bounds2D(points, centers)
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(p vec.Vector, ch byte) {
+		x := scaleTo(p[0], lo[0], hi[0], width-1)
+		y := height - 1 - scaleTo(p[1], lo[1], hi[1], height-1)
+		if grid[y][x] == 'X' && ch == '.' {
+			return // centers stay visible over data
+		}
+		grid[y][x] = ch
+	}
+	step := 1
+	if maxPoints > 0 && len(points) > maxPoints {
+		step = len(points) / maxPoints
+	}
+	for i := 0; i < len(points); i += step {
+		plot(points[i], '.')
+	}
+	for _, c := range centers {
+		plot(c, 'X')
+	}
+	var sb strings.Builder
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return sb.String()
+}
+
+func bounds2D(sets ...[]vec.Vector) (lo, hi [2]float64) {
+	first := true
+	for _, set := range sets {
+		for _, p := range set {
+			if len(p) < 2 {
+				continue
+			}
+			if first {
+				lo = [2]float64{p[0], p[1]}
+				hi = lo
+				first = false
+				continue
+			}
+			for d := 0; d < 2; d++ {
+				if p[d] < lo[d] {
+					lo[d] = p[d]
+				}
+				if p[d] > hi[d] {
+					hi[d] = p[d]
+				}
+			}
+		}
+	}
+	for d := 0; d < 2; d++ {
+		if hi[d] == lo[d] {
+			hi[d] = lo[d] + 1
+		}
+	}
+	return lo, hi
+}
+
+func scaleTo(x, lo, hi float64, max int) int {
+	f := (x - lo) / (hi - lo)
+	i := int(f * float64(max))
+	if i < 0 {
+		i = 0
+	}
+	if i > max {
+		i = max
+	}
+	return i
+}
+
+// asciiSeries renders one or more (x, y) series as a rough line chart, the
+// stand-in for the paper's Figures 3 and 5. Each series gets a distinct
+// marker.
+func asciiSeries(title string, xs []float64, series map[string][]float64, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	markers := []byte{'G', 'M', 'o', '#', '@'}
+	var names []string
+	for name := range series {
+		names = append(names, name)
+	}
+	// Stable marker assignment.
+	sortStrings(names)
+
+	loX, hiX := minMax(xs)
+	loY, hiY := 0.0, 0.0
+	first := true
+	for _, ys := range series {
+		for _, y := range ys {
+			if first {
+				loY, hiY = y, y
+				first = false
+			}
+			if y < loY {
+				loY = y
+			}
+			if y > hiY {
+				hiY = y
+			}
+		}
+	}
+	if hiY == loY {
+		hiY = loY + 1
+	}
+	if hiX == loX {
+		hiX = loX + 1
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range names {
+		ys := series[name]
+		for i, y := range ys {
+			if i >= len(xs) {
+				break
+			}
+			gx := scaleTo(xs[i], loX, hiX, width-1)
+			gy := height - 1 - scaleTo(y, loY, hiY, height-1)
+			grid[gy][gx] = markers[si%len(markers)]
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for si, name := range names {
+		sb.WriteString("  " + string(markers[si%len(markers)]) + " = " + name + "\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return sb.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package kmeansmr implements the MapReduce k-means building blocks shared
+// by the paper's two contenders:
+//
+//   - the classical MR k-means iteration (mapper assigns each point to its
+//     nearest center and emits a partial sum; combiner and reducer merge
+//     partial sums into new centroids), used both standalone and inside the
+//     G-means loop;
+//   - multi-k-means (the paper's Algorithm 6): one job maintains center
+//     sets for *every* candidate k simultaneously, which is the paper's
+//     "fair" baseline for determining k and the source of its O(n·k²) cost.
+//
+// Both jobs use combiners, as the paper stresses ("a classical MapReduce
+// implementation of k-means with combiners").
+package kmeansmr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/kdtree"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/vec"
+)
+
+// Application-level counters, kept separate from the engine's mr.* ones.
+const (
+	// CounterDistances counts point-to-center distance computations, the
+	// unit of the paper's computation-cost model (O(nk) for G-means vs
+	// O(nk²) for multi-k-means).
+	CounterDistances = "app.distance.computations"
+	// CounterPoints counts points processed by mappers.
+	CounterPoints = "app.points.processed"
+)
+
+// Env bundles what every job in this repository needs: the file system,
+// the cluster to run on, the dataset location and its dimensionality.
+type Env struct {
+	FS      *dfs.FS
+	Cluster mr.Cluster
+	Input   string
+	Dim     int
+	// UseKDTree accelerates the mappers' nearest-center queries with a
+	// k-d tree over the center set (the mrkd-tree idea of Pelleg & Moore
+	// that the paper's related work cites). Results are identical to the
+	// linear scan; only the number of distance computations drops.
+	UseKDTree bool
+}
+
+// NearestFunc returns the environment's nearest-center lookup over the
+// given centers: a pruned k-d tree descent when UseKDTree is set, else the
+// exhaustive scan. The third result is the number of distance
+// computations performed, feeding CounterDistances.
+func (e Env) NearestFunc(centers []vec.Vector) func(vec.Vector) (int, float64, int64) {
+	if e.UseKDTree && len(centers) > 1 {
+		tree := kdtree.Build(centers)
+		return tree.NearestCounted
+	}
+	k := int64(len(centers))
+	return func(p vec.Vector) (int, float64, int64) {
+		i, d2 := vec.NearestIndex(p, centers)
+		return i, d2, k
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (e Env) Validate() error {
+	if e.FS == nil {
+		return fmt.Errorf("kmeansmr: nil FS")
+	}
+	if e.Input == "" {
+		return fmt.Errorf("kmeansmr: empty input path")
+	}
+	if e.Dim <= 0 {
+		return fmt.Errorf("kmeansmr: dimensionality must be positive, got %d", e.Dim)
+	}
+	return e.Cluster.Validate()
+}
+
+// assignMapper is the classical k-means mapper: nearest center, emit
+// (centerID, partial sum).
+type assignMapper struct {
+	env     Env
+	centers []vec.Vector
+	nearest func(vec.Vector) (int, float64, int64)
+}
+
+func (m *assignMapper) Setup(*mr.TaskContext) error {
+	m.nearest = m.env.NearestFunc(m.centers)
+	return nil
+}
+
+func (m *assignMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
+	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
+	if err != nil {
+		return err
+	}
+	best, _, comps := m.nearest(p)
+	ctx.Counter(CounterDistances, comps)
+	ctx.Counter(CounterPoints, 1)
+	emit.Emit(int64(best), mr.OwnWeightedPointValue(p))
+	return nil
+}
+
+func (m *assignMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// MergeReducer merges WeightedPointValue partial sums; it serves as both
+// combiner and reducer of the classical k-means job.
+type MergeReducer struct{}
+
+// Setup implements mr.Reducer.
+func (MergeReducer) Setup(*mr.TaskContext) error { return nil }
+
+// Reduce implements mr.Reducer by summing all partial centroids of a key.
+func (MergeReducer) Reduce(_ *mr.TaskContext, key int64, values []mr.Value, emit mr.Emitter) error {
+	var acc vec.WeightedPoint
+	for _, v := range values {
+		wp, ok := v.(mr.WeightedPointValue)
+		if !ok {
+			return fmt.Errorf("kmeansmr: unexpected value type %T for key %d", v, key)
+		}
+		acc.Merge(wp.WeightedPoint)
+	}
+	emit.Emit(key, mr.WeightedPointValue{WeightedPoint: acc})
+	return nil
+}
+
+// Close implements mr.Reducer.
+func (MergeReducer) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+
+// IterationResult is the outcome of one MR k-means iteration.
+type IterationResult struct {
+	// Centers holds the refined centers; entries with Sizes[i]==0 keep the
+	// previous position (the empty-cluster convention).
+	Centers []vec.Vector
+	// Sizes holds the number of points assigned to each center.
+	Sizes []int64
+	// Job is the underlying engine result (counters, durations).
+	Job *mr.Result
+}
+
+// Iterate runs one classical MR k-means iteration over the dataset,
+// refining the given centers.
+func Iterate(env Env, centers []vec.Vector) (*IterationResult, error) {
+	return iterate(env, centers, "kmeans", true)
+}
+
+// IterateNoCombiner runs one MR k-means iteration with combining disabled,
+// shuffling O(n) coordinate records — the worst case of the paper's cost
+// model. Intended for the combiner ablation benchmark.
+func IterateNoCombiner(env Env, centers []vec.Vector, name string) (*IterationResult, error) {
+	if name == "" {
+		name = "kmeans-nocombine"
+	}
+	return iterate(env, centers, name, false)
+}
+
+func iterate(env Env, centers []vec.Vector, name string, combine bool) (*IterationResult, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if len(centers) == 0 {
+		return nil, fmt.Errorf("kmeansmr: no centers to refine")
+	}
+	job := &mr.Job{
+		Name:    name,
+		FS:      env.FS,
+		Cluster: env.Cluster,
+		Input:   []string{env.Input},
+		NewMapper: func() mr.Mapper {
+			return &assignMapper{env: env, centers: centers}
+		},
+		NewReducer: func() mr.Reducer { return MergeReducer{} },
+	}
+	if combine {
+		job.NewCombiner = func() mr.Reducer { return MergeReducer{} }
+	}
+	res, err := job.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &IterationResult{
+		Centers: vec.CloneAll(centers),
+		Sizes:   make([]int64, len(centers)),
+		Job:     res,
+	}
+	for _, kv := range res.Output {
+		wp, ok := kv.Value.(mr.WeightedPointValue)
+		if !ok || kv.Key < 0 || kv.Key >= int64(len(centers)) {
+			return nil, fmt.Errorf("kmeansmr: unexpected reducer output key=%d value=%T", kv.Key, kv.Value)
+		}
+		if wp.Count > 0 {
+			out.Centers[kv.Key] = wp.Centroid()
+			out.Sizes[kv.Key] = wp.Count
+		}
+	}
+	return out, nil
+}
+
+// SamplePoints draws n points uniformly from the dataset by reservoir
+// sampling over a single scan — the serial PickInitialCenters step of the
+// paper ("we use a serial implementation, that picks initial centers at
+// random"). It fails when the dataset holds fewer than n points.
+func SamplePoints(env Env, n int, seed int64) ([]vec.Vector, error) {
+	out, err := SampleUpTo(env, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("kmeansmr: dataset has only %d points, need %d samples", len(out), n)
+	}
+	return out, nil
+}
+
+// SampleUpTo draws up to n points uniformly from the dataset by reservoir
+// sampling; smaller datasets yield every point.
+func SampleUpTo(env Env, n int, seed int64) ([]vec.Vector, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reservoir := make([]vec.Vector, 0, n)
+	splits, err := env.FS.Splits(env.Input)
+	if err != nil {
+		return nil, err
+	}
+	env.FS.CountDatasetRead()
+	seen := 0
+	for _, sp := range splits {
+		rd, err := env.FS.OpenSplit(sp)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			line, ok := rd.Next()
+			if !ok {
+				break
+			}
+			p, err := dataset.ParsePointDim(line, env.Dim)
+			if err != nil {
+				return nil, err
+			}
+			seen++
+			if len(reservoir) < n {
+				reservoir = append(reservoir, p)
+			} else if j := rng.Intn(seen); j < n {
+				reservoir[j] = p
+			}
+		}
+	}
+	return reservoir, nil
+}

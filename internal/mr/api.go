@@ -1,0 +1,90 @@
+package mr
+
+// Record is one input record handed to a mapper: a line of the input file
+// plus its byte offset, mirroring Hadoop's TextInputFormat (offset key,
+// line value).
+type Record struct {
+	Offset int64
+	Line   string
+}
+
+// Emitter receives key/value pairs from mappers, combiners and reducers.
+// Implementations are not safe for concurrent use; each task owns its own.
+type Emitter interface {
+	Emit(key int64, value Value)
+}
+
+// Mapper processes the records of one input split. One fresh Mapper
+// instance is created per map task (via the job's MapperFactory), so
+// instances may keep per-task state — the TestFewClusters strategy depends
+// on this to buffer projections in the mapper and flush decisions in Close,
+// exactly like Hadoop's Mapper.cleanup.
+type Mapper interface {
+	// Setup runs once before the first record of the task.
+	Setup(ctx *TaskContext) error
+	// Map processes one record.
+	Map(ctx *TaskContext, rec Record, emit Emitter) error
+	// Close runs after the last record and may emit trailing pairs.
+	Close(ctx *TaskContext, emit Emitter) error
+}
+
+// Reducer processes groups of values sharing a key. One fresh Reducer
+// instance is created per reduce task. The same interface doubles as the
+// combiner contract, as in Hadoop.
+type Reducer interface {
+	// Setup runs once before the first group of the task.
+	Setup(ctx *TaskContext) error
+	// Reduce processes one key group. The values slice is owned by the
+	// engine and must not be retained after the call returns.
+	Reduce(ctx *TaskContext, key int64, values []Value, emit Emitter) error
+	// Close runs after the last group.
+	Close(ctx *TaskContext, emit Emitter) error
+}
+
+// MapperFactory builds one Mapper per map task.
+type MapperFactory func() Mapper
+
+// ReducerFactory builds one Reducer per reduce (or combine) task.
+type ReducerFactory func() Reducer
+
+// Partitioner routes a key to one of numReducers partitions.
+type Partitioner func(key int64, numReducers int) int
+
+// DefaultPartitioner is Hadoop's HashPartitioner specialized to int64 keys:
+// the key modulo the reducer count, folded to a non-negative index.
+func DefaultPartitioner(key int64, numReducers int) int {
+	p := int(key % int64(numReducers))
+	if p < 0 {
+		p += numReducers
+	}
+	return p
+}
+
+// MapperFunc adapts a plain function to the Mapper interface for jobs that
+// need no per-task state.
+type MapperFunc func(ctx *TaskContext, rec Record, emit Emitter) error
+
+// Setup implements Mapper.
+func (MapperFunc) Setup(*TaskContext) error { return nil }
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx *TaskContext, rec Record, emit Emitter) error {
+	return f(ctx, rec, emit)
+}
+
+// Close implements Mapper.
+func (MapperFunc) Close(*TaskContext, Emitter) error { return nil }
+
+// ReducerFunc adapts a plain function to the Reducer interface.
+type ReducerFunc func(ctx *TaskContext, key int64, values []Value, emit Emitter) error
+
+// Setup implements Reducer.
+func (ReducerFunc) Setup(*TaskContext) error { return nil }
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+	return f(ctx, key, values, emit)
+}
+
+// Close implements Reducer.
+func (ReducerFunc) Close(*TaskContext, Emitter) error { return nil }

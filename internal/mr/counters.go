@@ -1,0 +1,77 @@
+package mr
+
+import (
+	"sort"
+	"sync"
+)
+
+// Standard counter names maintained by the engine itself. Jobs add their
+// own domain counters (e.g. distance computations) under their own names.
+const (
+	CounterMapInputRecords    = "mr.map.input.records"
+	CounterMapOutputRecords   = "mr.map.output.records"
+	CounterMapOutputBytes     = "mr.map.output.bytes"
+	CounterCombineInput       = "mr.combine.input.records"
+	CounterCombineOutput      = "mr.combine.output.records"
+	CounterShuffleBytes       = "mr.shuffle.bytes"
+	CounterShuffleRecords     = "mr.shuffle.records"
+	CounterReduceInputGroups  = "mr.reduce.input.groups"
+	CounterReduceInputRecords = "mr.reduce.input.records"
+	CounterReduceOutput       = "mr.reduce.output.records"
+)
+
+// Counters is a concurrency-safe named-counter set, the equivalent of
+// Hadoop job counters. Tasks increment; the driver reads the merged totals
+// after the job completes.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the current value of the named counter (0 when absent).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// MergeInto adds every counter of c into dst. Used by drivers that
+// aggregate counters across the chained jobs of one algorithm run.
+func (c *Counters) MergeInto(dst *Counters) {
+	for name, v := range c.Snapshot() {
+		dst.Add(name, v)
+	}
+}
+
+// Names returns the sorted counter names, for stable reporting.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

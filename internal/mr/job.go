@@ -1,0 +1,387 @@
+package mr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gmeansmr/internal/dfs"
+)
+
+// Job describes one MapReduce job: where the input lives, how to map,
+// combine and reduce it, and which cluster executes it. Zero-value optional
+// fields get Hadoop-like defaults (hash partitioner, reducer count equal to
+// the cluster's reduce capacity).
+type Job struct {
+	Name    string
+	FS      *dfs.FS
+	Cluster Cluster
+
+	// Input is the list of DFS paths to read. Every file is divided into
+	// splits; one map task runs per split.
+	Input []string
+
+	NewMapper   MapperFactory
+	NewCombiner ReducerFactory // optional; nil disables combining
+	NewReducer  ReducerFactory
+
+	// NumReducers is the number of reduce tasks (= output partitions).
+	// Zero selects the cluster's total reduce capacity, the common Hadoop
+	// practice the paper assumes when it says the reduce-phase parallelism
+	// of TestClusters "is bounded by k".
+	NumReducers int
+
+	Partition Partitioner // nil selects DefaultPartitioner
+}
+
+// Result is the outcome of a successful job.
+type Result struct {
+	// Output contains every pair emitted by reducers, ordered by partition
+	// then by emission order within the reduce task. For key-ordered access
+	// use SortedOutput.
+	Output []KV
+	// Counters holds the merged engine and job counters.
+	Counters *Counters
+	// MapTasks and ReduceTasks record the task counts that ran.
+	MapTasks    int
+	ReduceTasks int
+	// Duration is the wall-clock time of the whole job.
+	Duration time.Duration
+}
+
+// SortedOutput returns the output pairs sorted by key (stable).
+func (r *Result) SortedOutput() []KV {
+	out := make([]KV, len(r.Output))
+	copy(out, r.Output)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+type emitter struct {
+	buf []KV
+}
+
+func (e *emitter) Emit(key int64, value Value) {
+	e.buf = append(e.buf, KV{Key: key, Value: value})
+}
+
+// Run executes the job to completion and returns its result, or the first
+// task error encountered. A failing task fails the job, matching Hadoop's
+// behaviour for deterministic task errors such as heap exhaustion.
+func (j *Job) Run() (*Result, error) {
+	if err := j.validate(); err != nil {
+		return nil, err
+	}
+	numReducers := j.NumReducers
+	if numReducers <= 0 {
+		numReducers = j.Cluster.ReduceCapacity()
+	}
+	partition := j.Partition
+	if partition == nil {
+		partition = DefaultPartitioner
+	}
+
+	start := time.Now()
+	counters := NewCounters()
+
+	var splits []dfs.Split
+	for _, path := range j.Input {
+		ss, err := j.FS.Splits(path)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %q: %w", j.Name, err)
+		}
+		splits = append(splits, ss...)
+		// Each job scans each of its inputs exactly once across its map
+		// wave; this is the paper's "dataset read" cost unit.
+		j.FS.CountDatasetRead()
+	}
+
+	// shuffle[p][t] holds the combined, key-sorted run produced for
+	// partition p by map task t. Indexing by task id keeps the merge order
+	// deterministic regardless of goroutine scheduling.
+	shuffle := make([][][]KV, numReducers)
+	for p := range shuffle {
+		shuffle[p] = make([][]KV, len(splits))
+	}
+
+	if err := j.runMapPhase(splits, numReducers, partition, counters, shuffle); err != nil {
+		return nil, err
+	}
+
+	output, err := j.runReducePhase(numReducers, counters, shuffle)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Output:      output,
+		Counters:    counters,
+		MapTasks:    len(splits),
+		ReduceTasks: numReducers,
+		Duration:    time.Since(start),
+	}, nil
+}
+
+func (j *Job) validate() error {
+	switch {
+	case j.FS == nil:
+		return fmt.Errorf("mr: job %q: nil FS", j.Name)
+	case len(j.Input) == 0:
+		return fmt.Errorf("mr: job %q: no input", j.Name)
+	case j.NewMapper == nil:
+		return fmt.Errorf("mr: job %q: nil mapper factory", j.Name)
+	case j.NewReducer == nil:
+		return fmt.Errorf("mr: job %q: nil reducer factory", j.Name)
+	}
+	return j.Cluster.Validate()
+}
+
+// runMapPhase executes one map task per split on a worker pool bounded by
+// the cluster's map capacity.
+func (j *Job) runMapPhase(splits []dfs.Split, numReducers int, partition Partitioner, counters *Counters, shuffle [][][]KV) error {
+	sem := make(chan struct{}, j.Cluster.MapCapacity())
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for t, sp := range splits {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(taskID int, sp dfs.Split) {
+			defer func() { <-sem; wg.Done() }()
+			mu.Lock()
+			aborted := firstErr != nil
+			mu.Unlock()
+			if aborted {
+				return
+			}
+			runs, err := j.runMapTask(taskID, sp, numReducers, partition, counters)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			for p := range runs {
+				shuffle[p][taskID] = runs[p]
+			}
+		}(t, sp)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runMapTask maps one split and returns the per-partition, key-sorted,
+// combined runs.
+func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Partitioner, counters *Counters) ([][]KV, error) {
+	ctx := &TaskContext{
+		JobName:    j.Name,
+		Kind:       MapTask,
+		TaskID:     taskID,
+		NodeID:     taskID % j.Cluster.Nodes,
+		counters:   counters,
+		heapBudget: j.Cluster.TaskHeapBytes,
+	}
+	mapper := j.NewMapper()
+	if err := mapper.Setup(ctx); err != nil {
+		return nil, &TaskError{Job: j.Name, Kind: MapTask, TaskID: taskID, Err: err}
+	}
+	em := &emitter{}
+	reader, err := j.FS.OpenSplit(sp)
+	if err != nil {
+		return nil, &TaskError{Job: j.Name, Kind: MapTask, TaskID: taskID, Err: err}
+	}
+	var offset int64 = sp.Start
+	var records int64
+	for {
+		line, ok := reader.Next()
+		if !ok {
+			break
+		}
+		records++
+		if err := mapper.Map(ctx, Record{Offset: offset, Line: line}, em); err != nil {
+			return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
+		}
+		offset += int64(len(line)) + 1
+	}
+	if err := mapper.Close(ctx, em); err != nil {
+		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
+	}
+
+	var outBytes int64
+	for _, kv := range em.buf {
+		outBytes += int64(kv.Value.ByteSize()) + 8
+	}
+	ctx.Counter(CounterMapInputRecords, records)
+	ctx.Counter(CounterMapOutputRecords, int64(len(em.buf)))
+	ctx.Counter(CounterMapOutputBytes, outBytes)
+
+	// Partition, sort, and (optionally) combine, as Hadoop does on spill.
+	parts := make([][]KV, numReducers)
+	for _, kv := range em.buf {
+		p := partition(kv.Key, numReducers)
+		parts[p] = append(parts[p], kv)
+	}
+	for p := range parts {
+		sort.SliceStable(parts[p], func(a, b int) bool { return parts[p][a].Key < parts[p][b].Key })
+		if j.NewCombiner != nil && len(parts[p]) > 0 {
+			combined, err := j.combineRun(ctx, taskID, parts[p], counters)
+			if err != nil {
+				return nil, err
+			}
+			parts[p] = combined
+		}
+		var shuffled, shuffledBytes int64
+		for _, kv := range parts[p] {
+			shuffled++
+			shuffledBytes += int64(kv.Value.ByteSize()) + 8
+		}
+		ctx.Counter(CounterShuffleRecords, shuffled)
+		ctx.Counter(CounterShuffleBytes, shuffledBytes)
+	}
+	ctx.flushCounters()
+	return parts, nil
+}
+
+// combineRun applies the combiner to one sorted run and returns the
+// combiner's (re-sorted) output.
+func (j *Job) combineRun(ctx *TaskContext, taskID int, run []KV, counters *Counters) ([]KV, error) {
+	combiner := j.NewCombiner()
+	if err := combiner.Setup(ctx); err != nil {
+		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
+	}
+	out := &emitter{}
+	i := 0
+	for i < len(run) {
+		k := run[i].Key
+		jdx := i
+		for jdx < len(run) && run[jdx].Key == k {
+			jdx++
+		}
+		values := make([]Value, 0, jdx-i)
+		for _, kv := range run[i:jdx] {
+			values = append(values, kv.Value)
+		}
+		ctx.Counter(CounterCombineInput, int64(len(values)))
+		if err := combiner.Reduce(ctx, k, values, out); err != nil {
+			return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
+		}
+		i = jdx
+	}
+	if err := combiner.Close(ctx, out); err != nil {
+		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
+	}
+	ctx.Counter(CounterCombineOutput, int64(len(out.buf)))
+	sort.SliceStable(out.buf, func(a, b int) bool { return out.buf[a].Key < out.buf[b].Key })
+	return out.buf, nil
+}
+
+// runReducePhase executes one reduce task per partition on a worker pool
+// bounded by the cluster's reduce capacity, returning the concatenated
+// output in partition order.
+func (j *Job) runReducePhase(numReducers int, counters *Counters, shuffle [][][]KV) ([]KV, error) {
+	sem := make(chan struct{}, j.Cluster.ReduceCapacity())
+	outputs := make([][]KV, numReducers)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for p := 0; p < numReducers; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer func() { <-sem; wg.Done() }()
+			mu.Lock()
+			aborted := firstErr != nil
+			mu.Unlock()
+			if aborted {
+				return
+			}
+			out, err := j.runReduceTask(p, counters, shuffle[p])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			outputs[p] = out
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var output []KV
+	for _, out := range outputs {
+		output = append(output, out...)
+	}
+	return output, nil
+}
+
+// runReduceTask merges the runs of one partition, groups by key, and feeds
+// the groups to a fresh reducer instance.
+func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error) {
+	ctx := &TaskContext{
+		JobName:    j.Name,
+		Kind:       ReduceTask,
+		TaskID:     p,
+		NodeID:     p % j.Cluster.Nodes,
+		counters:   counters,
+		heapBudget: j.Cluster.TaskHeapBytes,
+	}
+	// Merge: concatenate in deterministic (map-task) order, then stable
+	// sort by key. Runs are already sorted, so this is the moral
+	// equivalent of Hadoop's merge phase.
+	var merged []KV
+	for _, run := range runs {
+		merged = append(merged, run...)
+	}
+	sort.SliceStable(merged, func(a, b int) bool { return merged[a].Key < merged[b].Key })
+
+	reducer := j.NewReducer()
+	if err := reducer.Setup(ctx); err != nil {
+		return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
+	}
+	out := &emitter{}
+	i := 0
+	var groups, records int64
+	for i < len(merged) {
+		k := merged[i].Key
+		jdx := i
+		for jdx < len(merged) && merged[jdx].Key == k {
+			jdx++
+		}
+		values := make([]Value, 0, jdx-i)
+		for _, kv := range merged[i:jdx] {
+			values = append(values, kv.Value)
+		}
+		groups++
+		records += int64(len(values))
+		if err := reducer.Reduce(ctx, k, values, out); err != nil {
+			return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
+		}
+		i = jdx
+	}
+	if err := reducer.Close(ctx, out); err != nil {
+		return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
+	}
+	ctx.Counter(CounterReduceInputGroups, groups)
+	ctx.Counter(CounterReduceInputRecords, records)
+	ctx.Counter(CounterReduceOutput, int64(len(out.buf)))
+	ctx.flushCounters()
+	return out.buf, nil
+}
+
+func wrapTaskErr(job string, kind TaskKind, taskID int, err error) error {
+	if te, ok := err.(*TaskError); ok {
+		return te
+	}
+	return &TaskError{Job: job, Kind: kind, TaskID: taskID, Err: err}
+}

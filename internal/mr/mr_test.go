@@ -1,0 +1,684 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gmeansmr/internal/dfs"
+)
+
+// testCluster returns a small deterministic-enough cluster for unit tests.
+func testCluster() Cluster {
+	return Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2, TaskHeapBytes: 1 << 20, MaxHeapUsage: 0.66}
+}
+
+// wordCountJob builds the canonical MapReduce smoke test: tokens are
+// non-negative ints; the job counts occurrences per token.
+func wordCountJob(fs *dfs.FS, input string, combine bool) *Job {
+	j := &Job{
+		Name:    "wordcount",
+		FS:      fs,
+		Cluster: testCluster(),
+		Input:   []string{input},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(ctx *TaskContext, rec Record, emit Emitter) error {
+				for _, tok := range strings.Fields(rec.Line) {
+					n, err := strconv.ParseInt(tok, 10, 64)
+					if err != nil {
+						return err
+					}
+					emit.Emit(n, Int64Value(1))
+				}
+				return nil
+			})
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+				var sum int64
+				for _, v := range values {
+					sum += int64(v.(Int64Value))
+				}
+				emit.Emit(key, Int64Value(sum))
+				return nil
+			})
+		},
+	}
+	if combine {
+		j.NewCombiner = j.NewReducer
+	}
+	return j
+}
+
+func writeTokens(fs *dfs.FS, path string, tokens []int) {
+	var lines []string
+	var cur []string
+	for i, tok := range tokens {
+		cur = append(cur, strconv.Itoa(tok))
+		if (i+1)%5 == 0 {
+			lines = append(lines, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		lines = append(lines, strings.Join(cur, " "))
+	}
+	fs.WriteLines(path, lines)
+}
+
+func countsFromResult(res *Result) map[int64]int64 {
+	out := make(map[int64]int64)
+	for _, kv := range res.Output {
+		out[kv.Key] += int64(kv.Value.(Int64Value))
+	}
+	return out
+}
+
+func TestWordCountBasic(t *testing.T) {
+	fs := dfs.New(16) // tiny splits → many map tasks
+	tokens := []int{1, 2, 3, 1, 2, 1, 7, 7, 7, 7}
+	writeTokens(fs, "/in", tokens)
+	res, err := wordCountJob(fs, "/in", false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countsFromResult(res)
+	want := map[int64]int64{1: 3, 2: 2, 3: 1, 7: 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	if res.MapTasks < 2 {
+		t.Errorf("expected multiple map tasks with 16-byte splits, got %d", res.MapTasks)
+	}
+}
+
+func TestWordCountWithCombinerSameAnswer(t *testing.T) {
+	fs := dfs.New(32)
+	r := rand.New(rand.NewSource(1))
+	tokens := make([]int, 500)
+	for i := range tokens {
+		tokens[i] = r.Intn(10)
+	}
+	writeTokens(fs, "/in", tokens)
+
+	plain, err := wordCountJob(fs, "/in", false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := wordCountJob(fs, "/in", true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := countsFromResult(plain), countsFromResult(combined)
+	if len(a) != len(b) {
+		t.Fatalf("different key counts: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("combiner changed count[%d]: %d vs %d", k, b[k], v)
+		}
+	}
+	// The combiner must reduce shuffle volume on a skewed token set.
+	if combined.Counters.Get(CounterShuffleRecords) >= plain.Counters.Get(CounterShuffleRecords) {
+		t.Errorf("combiner did not reduce shuffle records: %d vs %d",
+			combined.Counters.Get(CounterShuffleRecords), plain.Counters.Get(CounterShuffleRecords))
+	}
+}
+
+func TestEngineCounters(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{1, 1, 2})
+	res, err := wordCountJob(fs, "/in", false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if got := c.Get(CounterMapInputRecords); got != 1 {
+		t.Errorf("map input records = %d, want 1 line", got)
+	}
+	if got := c.Get(CounterMapOutputRecords); got != 3 {
+		t.Errorf("map output records = %d, want 3", got)
+	}
+	if got := c.Get(CounterReduceInputGroups); got != 2 {
+		t.Errorf("reduce groups = %d, want 2", got)
+	}
+	if got := c.Get(CounterReduceOutput); got != 2 {
+		t.Errorf("reduce output = %d, want 2", got)
+	}
+	if got := c.Get(CounterShuffleBytes); got != 3*16 {
+		t.Errorf("shuffle bytes = %d, want 48 (3 records × 8B key + 8B value)", got)
+	}
+}
+
+func TestDatasetReadAccounting(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{1, 2, 3})
+	fs.ResetCounters()
+	if _, err := wordCountJob(fs, "/in", false).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.DatasetReads(); got != 1 {
+		t.Errorf("DatasetReads = %d, want exactly 1 per job", got)
+	}
+}
+
+func TestMapperErrorFailsJob(t *testing.T) {
+	fs := dfs.New(0)
+	fs.WriteLines("/in", []string{"not-a-number"})
+	_, err := wordCountJob(fs, "/in", false).Run()
+	if err == nil {
+		t.Fatal("expected job failure")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TaskError", err)
+	}
+	if te.Kind != MapTask {
+		t.Errorf("failing kind = %s, want map", te.Kind)
+	}
+}
+
+func TestReducerHeapExhaustionFailsJob(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{5, 5, 5, 5, 5, 5, 5, 5})
+	job := wordCountJob(fs, "/in", false)
+	job.Cluster.TaskHeapBytes = 100
+	job.NewReducer = func() Reducer {
+		return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+			// Model 64 bytes per value, like the paper's TestClusters
+			// reducer: 8 values × 64 B = 512 B > 100 B budget.
+			return ctx.ReserveHeap(int64(len(values)) * 64)
+		})
+	}
+	_, err := job.Run()
+	if !errors.Is(err, ErrHeapSpace) {
+		t.Fatalf("err = %v, want ErrHeapSpace", err)
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Kind != ReduceTask {
+		t.Errorf("heap failure should come from a reduce task: %v", err)
+	}
+}
+
+func TestHeapReserveRelease(t *testing.T) {
+	ctx := &TaskContext{heapBudget: 100, counters: NewCounters()}
+	if err := ctx.ReserveHeap(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.ReserveHeap(60); !errors.Is(err, ErrHeapSpace) {
+		t.Fatalf("over-budget reserve: err = %v", err)
+	}
+	ctx.ReleaseHeap(30)
+	if err := ctx.ReserveHeap(60); err != nil {
+		t.Fatalf("reserve after release: %v", err)
+	}
+	if ctx.HeapPeak() != 90 {
+		t.Errorf("HeapPeak = %d, want 90", ctx.HeapPeak())
+	}
+	ctx.ReleaseHeap(1000)
+	if ctx.HeapUsed() != 0 {
+		t.Errorf("HeapUsed after big release = %d, want 0", ctx.HeapUsed())
+	}
+}
+
+func TestNumReducersControlsPartitions(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{0, 1, 2, 3, 4, 5, 6, 7})
+	job := wordCountJob(fs, "/in", false)
+	job.NumReducers = 3
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 3 {
+		t.Errorf("ReduceTasks = %d, want 3", res.ReduceTasks)
+	}
+	if got := countsFromResult(res); len(got) != 8 {
+		t.Errorf("keys = %d, want 8", len(got))
+	}
+}
+
+func TestDefaultPartitionerNegativeKeys(t *testing.T) {
+	for _, k := range []int64{-1, -17, -1 << 62, 0, 5, 1 << 62} {
+		p := DefaultPartitioner(k, 7)
+		if p < 0 || p >= 7 {
+			t.Errorf("partition(%d) = %d out of range", k, p)
+		}
+	}
+}
+
+func TestMapperSetupCloseLifecycle(t *testing.T) {
+	fs := dfs.New(8) // several splits
+	fs.WriteLines("/in", []string{"1 1", "2 2", "3 3"})
+	var mu = make(chan string, 100)
+	job := &Job{
+		Name:    "lifecycle",
+		FS:      fs,
+		Cluster: testCluster(),
+		Input:   []string{"/in"},
+		NewMapper: func() Mapper {
+			return &lifecycleMapper{events: mu}
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+				emit.Emit(key, Int64Value(len(values)))
+				return nil
+			})
+		},
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(mu)
+	var setups, closes int
+	for ev := range mu {
+		switch ev {
+		case "setup":
+			setups++
+		case "close":
+			closes++
+		}
+	}
+	if setups != res.MapTasks || closes != res.MapTasks {
+		t.Errorf("setups=%d closes=%d, want %d each", setups, closes, res.MapTasks)
+	}
+	// Close-emitted trailing pair must be present: key 99 appears once per
+	// map task.
+	got := countsFromResult(res)
+	if got[99] != int64(res.MapTasks) {
+		t.Errorf("close-emitted key 99 count = %d, want %d", got[99], res.MapTasks)
+	}
+}
+
+type lifecycleMapper struct {
+	events chan string
+}
+
+func (m *lifecycleMapper) Setup(*TaskContext) error {
+	m.events <- "setup"
+	return nil
+}
+
+func (m *lifecycleMapper) Map(ctx *TaskContext, rec Record, emit Emitter) error {
+	for _, tok := range strings.Fields(rec.Line) {
+		n, _ := strconv.ParseInt(tok, 10, 64)
+		emit.Emit(n, Int64Value(1))
+	}
+	return nil
+}
+
+func (m *lifecycleMapper) Close(ctx *TaskContext, emit Emitter) error {
+	m.events <- "close"
+	emit.Emit(99, Int64Value(1))
+	return nil
+}
+
+func TestJobValidation(t *testing.T) {
+	fs := dfs.New(0)
+	fs.WriteLines("/in", []string{"1"})
+	base := wordCountJob(fs, "/in", false)
+
+	bad := *base
+	bad.FS = nil
+	if _, err := bad.Run(); err == nil {
+		t.Error("nil FS accepted")
+	}
+	bad = *base
+	bad.Input = nil
+	if _, err := bad.Run(); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad = *base
+	bad.NewMapper = nil
+	if _, err := bad.Run(); err == nil {
+		t.Error("nil mapper accepted")
+	}
+	bad = *base
+	bad.NewReducer = nil
+	if _, err := bad.Run(); err == nil {
+		t.Error("nil reducer accepted")
+	}
+	bad = *base
+	bad.Cluster.Nodes = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+	bad = *base
+	bad.Input = []string{"/missing"}
+	if _, err := bad.Run(); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestClusterValidateAndDerived(t *testing.T) {
+	c := DefaultCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MapCapacity() != c.Nodes*c.MapSlotsPerNode {
+		t.Error("MapCapacity mismatch")
+	}
+	if c.ReduceCapacity() != c.Nodes*c.ReduceSlotsPerNode {
+		t.Error("ReduceCapacity mismatch")
+	}
+	if c.PlannableHeap() != int64(float64(c.TaskHeapBytes)*c.MaxHeapUsage) {
+		t.Error("PlannableHeap mismatch")
+	}
+	if c2 := c.WithNodes(12); c2.Nodes != 12 || c.Nodes != 4 {
+		t.Error("WithNodes should copy")
+	}
+	if c2 := c.WithTaskHeap(42); c2.TaskHeapBytes != 42 || c.TaskHeapBytes == 42 {
+		t.Error("WithTaskHeap should copy")
+	}
+	for _, bad := range []Cluster{
+		{Nodes: 0, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: 0.5},
+		{Nodes: 1, MapSlotsPerNode: 0, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: 0.5},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 0, TaskHeapBytes: 1, MaxHeapUsage: 0.5},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 0, MaxHeapUsage: 0.5},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: 1.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid cluster accepted: %+v", bad)
+		}
+	}
+}
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("a", 2)
+	c.Add("a", 3)
+	c.Add("b", 1)
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("zzz") != 0 {
+		t.Error("counter arithmetic wrong")
+	}
+	snap := c.Snapshot()
+	snap["a"] = 99
+	if c.Get("a") != 5 {
+		t.Error("Snapshot exposed internal map")
+	}
+	other := NewCounters()
+	other.Add("a", 1)
+	c.MergeInto(other)
+	if other.Get("a") != 6 || other.Get("b") != 1 {
+		t.Error("MergeInto wrong")
+	}
+	names := c.Names()
+	if !sort.StringsAreSorted(names) || len(names) != 2 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSortedOutput(t *testing.T) {
+	res := &Result{Output: []KV{{Key: 5, Value: Int64Value(1)}, {Key: 1, Value: Int64Value(2)}, {Key: 3, Value: Int64Value(3)}}}
+	sorted := res.SortedOutput()
+	if sorted[0].Key != 1 || sorted[1].Key != 3 || sorted[2].Key != 5 {
+		t.Errorf("SortedOutput = %v", sorted)
+	}
+	if res.Output[0].Key != 5 {
+		t.Error("SortedOutput mutated original")
+	}
+}
+
+func TestValueByteSizes(t *testing.T) {
+	if (Float64Value(1)).ByteSize() != 8 {
+		t.Error("Float64Value size")
+	}
+	if (Int64Value(1)).ByteSize() != 8 {
+		t.Error("Int64Value size")
+	}
+	if (BoolValue(true)).ByteSize() != 1 {
+		t.Error("BoolValue size")
+	}
+	if (PointValue{Coords: []float64{1, 2}}).ByteSize() != 16 {
+		t.Error("PointValue size")
+	}
+	if (ADDecisionValue{}).ByteSize() != 17 {
+		t.Error("ADDecisionValue size")
+	}
+	if NewWeightedPointValue([]float64{1, 2, 3}).ByteSize() != 40 {
+		t.Error("WeightedPointValue size")
+	}
+}
+
+// TestPropShuffleExactlyOnce: for random token streams and random split
+// sizes, every emitted pair reaches exactly one reducer exactly once —
+// verified by comparing against a sequential count.
+func TestPropShuffleExactlyOnce(t *testing.T) {
+	f := func(seed int64, splitRaw, reducersRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		tokens := make([]int, n)
+		want := map[int64]int64{}
+		for i := range tokens {
+			tokens[i] = r.Intn(20)
+			want[int64(tokens[i])]++
+		}
+		fs := dfs.New(1 + int(splitRaw)%64)
+		writeTokens(fs, "/in", tokens)
+		job := wordCountJob(fs, "/in", r.Intn(2) == 0)
+		job.NumReducers = 1 + int(reducersRaw)%8
+		res, err := job.Run()
+		if err != nil {
+			return false
+		}
+		got := countsFromResult(res)
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCombinerTransparency: for an associative, commutative reduction
+// the combiner must never change job output, for any cluster shape.
+func TestPropCombinerTransparency(t *testing.T) {
+	f := func(seed int64, nodesRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tokens := make([]int, 1+r.Intn(300))
+		for i := range tokens {
+			tokens[i] = r.Intn(15)
+		}
+		fs := dfs.New(1 + r.Intn(50))
+		writeTokens(fs, "/in", tokens)
+
+		mk := func(combine bool) map[int64]int64 {
+			job := wordCountJob(fs, "/in", combine)
+			job.Cluster.Nodes = 1 + int(nodesRaw)%6
+			res, err := job.Run()
+			if err != nil {
+				return nil
+			}
+			return countsFromResult(res)
+		}
+		a, b := mk(false), mk(true)
+		if a == nil || b == nil || len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterministicOutputAcrossRuns guards the engine's deterministic
+// merge-order property, which the G-means candidate sampling relies on for
+// reproducible runs.
+func TestDeterministicOutputAcrossRuns(t *testing.T) {
+	fs := dfs.New(16)
+	r := rand.New(rand.NewSource(9))
+	tokens := make([]int, 300)
+	for i := range tokens {
+		tokens[i] = r.Intn(30)
+	}
+	writeTokens(fs, "/in", tokens)
+	run := func() string {
+		res, err := wordCountJob(fs, "/in", true).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, kv := range res.SortedOutput() {
+			fmt.Fprintf(&sb, "%d=%d;", kv.Key, int64(kv.Value.(Int64Value)))
+		}
+		return sb.String()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+func TestMultipleInputFiles(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/a", []int{1, 1, 2})
+	writeTokens(fs, "/b", []int{2, 3, 3})
+	job := wordCountJob(fs, "/a", false)
+	job.Input = []string{"/a", "/b"}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countsFromResult(res)
+	want := map[int64]int64{1: 2, 2: 2, 3: 2}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Two inputs ⇒ two dataset reads for this single job.
+	fs.ResetCounters()
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.DatasetReads(); got != 2 {
+		t.Errorf("DatasetReads = %d, want 2", got)
+	}
+}
+
+func TestNegativeKeysRouteAndGroup(t *testing.T) {
+	fs := dfs.New(0)
+	fs.WriteLines("/in", []string{"x"})
+	job := &Job{
+		Name:    "negkeys",
+		FS:      fs,
+		Cluster: testCluster(),
+		Input:   []string{"/in"},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(ctx *TaskContext, rec Record, emit Emitter) error {
+				emit.Emit(-5, Int64Value(1))
+				emit.Emit(-5, Int64Value(1))
+				emit.Emit(-1<<62, Int64Value(1))
+				return nil
+			})
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+				emit.Emit(key, Int64Value(len(values)))
+				return nil
+			})
+		},
+		NumReducers: 4,
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countsFromResult(res)
+	if got[-5] != 2 || got[-1<<62] != 1 {
+		t.Errorf("negative-key grouping = %v", got)
+	}
+}
+
+func TestReducerErrorFailsJob(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{1})
+	job := wordCountJob(fs, "/in", false)
+	job.NewReducer = func() Reducer {
+		return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+			return errors.New("boom")
+		})
+	}
+	_, err := job.Run()
+	var te *TaskError
+	if !errors.As(err, &te) || te.Kind != ReduceTask {
+		t.Fatalf("err = %v, want reduce TaskError", err)
+	}
+}
+
+func TestCombinerErrorFailsJob(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{1, 1})
+	job := wordCountJob(fs, "/in", false)
+	job.NewCombiner = func() Reducer {
+		return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+			return errors.New("combiner boom")
+		})
+	}
+	_, err := job.Run()
+	var te *TaskError
+	if !errors.As(err, &te) || te.Kind != MapTask {
+		t.Fatalf("combiner failures surface as map-task errors, got %v", err)
+	}
+}
+
+func TestOffsetKeysSurviveShuffle(t *testing.T) {
+	// The 2^62 OFFSET trick of KMeansAndFindNewCenters depends on huge
+	// keys shuffling intact.
+	const offset = int64(1) << 62
+	fs := dfs.New(0)
+	fs.WriteLines("/in", []string{"x", "y"})
+	job := &Job{
+		Name:    "offset",
+		FS:      fs,
+		Cluster: testCluster(),
+		Input:   []string{"/in"},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(ctx *TaskContext, rec Record, emit Emitter) error {
+				emit.Emit(3, Int64Value(1))
+				emit.Emit(3+offset, Int64Value(1))
+				return nil
+			})
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(ctx *TaskContext, key int64, values []Value, emit Emitter) error {
+				emit.Emit(key, Int64Value(len(values)))
+				return nil
+			})
+		},
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countsFromResult(res)
+	if got[3] != 2 || got[3+offset] != 2 {
+		t.Errorf("offset keys mangled: %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package mr is an in-process MapReduce engine modeled on Hadoop 1.x, the
+// execution substrate of the reproduced paper. It provides:
+//
+//   - jobs composed of a mapper, an optional combiner, a partitioner and a
+//     reducer, fed by splits of a simulated DFS file (package dfs);
+//   - a sort-based shuffle with byte accounting, so shuffle volume — a
+//     first-class cost in the paper's analysis — is measurable;
+//   - a simulated cluster: N nodes × map/reduce slots, enforced by bounded
+//     worker pools, so node-scaling experiments (paper Table 4 / Fig. 5)
+//     exercise real parallelism;
+//   - per-task heap budgets with a "Java heap space"-equivalent failure
+//     mode, which reproduces the reducer-memory experiment (paper Fig. 2);
+//   - counters, the standard Hadoop mechanism jobs use to ship small
+//     aggregates (cluster sizes, test decisions) back to the driver.
+//
+// Keys are int64, exactly as in the paper ("the type of center id is a Java
+// Long"), which is what makes the OFFSET = 2^62 keying trick of
+// KMeansAndFindNewCenters representable.
+package mr
+
+import "gmeansmr/internal/vec"
+
+// Value is the payload type flowing through the shuffle. ByteSize reports
+// the serialized size under the engine's wire model and drives the
+// shuffle-volume counters; it should approximate what a Hadoop Writable
+// would occupy.
+type Value interface {
+	ByteSize() int
+}
+
+// KV is one key/value pair.
+type KV struct {
+	Key   int64
+	Value Value
+}
+
+// Float64Value wraps a double, e.g. a point's scalar projection.
+type Float64Value float64
+
+// ByteSize is 8 bytes, the size of an IEEE 754 double on the wire.
+func (Float64Value) ByteSize() int { return 8 }
+
+// Int64Value wraps a long, e.g. a count.
+type Int64Value int64
+
+// ByteSize is 8 bytes, the size of a long on the wire.
+func (Int64Value) ByteSize() int { return 8 }
+
+// BoolValue wraps a boolean decision, e.g. "this cluster looks Gaussian".
+type BoolValue bool
+
+// ByteSize is 1 byte.
+func (BoolValue) ByteSize() int { return 1 }
+
+// PointValue carries raw point coordinates, e.g. a candidate center.
+type PointValue struct {
+	Coords vec.Vector
+}
+
+// ByteSize is 8 bytes per coordinate.
+func (p PointValue) ByteSize() int { return 8 * len(p.Coords) }
+
+// WeightedPointValue carries a partial centroid sum: coordinates plus a
+// count, the classic k-means combiner payload ("coordinates (float[]),
+// 1 (int)" in the paper's Algorithm 2).
+type WeightedPointValue struct {
+	vec.WeightedPoint
+}
+
+// NewWeightedPointValue starts an accumulation from a single point,
+// copying its coordinates.
+func NewWeightedPointValue(p vec.Vector) WeightedPointValue {
+	return WeightedPointValue{vec.NewWeightedPoint(p)}
+}
+
+// OwnWeightedPointValue wraps p without copying; the caller hands over
+// ownership and must not modify p afterwards. Mappers that parse a fresh
+// vector per input record use this to avoid one allocation per emitted
+// pair — the dominant allocation of every k-means job. Sharing the same
+// vector across several emitted values is safe because reducers only
+// accumulate *into* their own fresh accumulators.
+func OwnWeightedPointValue(p vec.Vector) WeightedPointValue {
+	return WeightedPointValue{vec.WeightedPoint{Sum: p, Count: 1}}
+}
+
+// ADDecisionValue carries one mapper-side Anderson–Darling outcome for the
+// TestFewClusters strategy: the corrected statistic and the sample size it
+// was computed on (so the reducer can weight or veto decisions).
+type ADDecisionValue struct {
+	A2Star float64
+	N      int64
+	Normal bool
+}
+
+// ByteSize is two longs and a byte.
+func (ADDecisionValue) ByteSize() int { return 17 }

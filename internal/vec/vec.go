@@ -1,0 +1,233 @@
+// Package vec provides the small dense-vector kernel used throughout the
+// repository: Euclidean geometry in R^d over []float64, plus the projection
+// primitive that G-means uses to reduce each cluster to one dimension.
+//
+// All functions treat their inputs as read-only unless the doc comment says
+// otherwise. Vectors of mismatching dimensionality cause a panic: dimension
+// mismatches are programming errors, not runtime conditions, and every
+// caller in this module constructs vectors of a single dimensionality per
+// dataset.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point (or direction) in R^d.
+type Vector = []float64
+
+// assertSameDim panics unless a and b have equal length.
+func assertSameDim(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch: %d vs %d", len(a), len(b)))
+	}
+}
+
+// Clone returns a fresh copy of v.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// CloneAll deep-copies a slice of vectors.
+func CloneAll(vs []Vector) []Vector {
+	out := make([]Vector, len(vs))
+	for i, v := range vs {
+		out[i] = Clone(v)
+	}
+	return out
+}
+
+// Dot returns the inner product <a, b>.
+func Dot(a, b Vector) float64 {
+	assertSameDim(a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the squared Euclidean norm of v.
+func Norm2(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vector) float64 { return math.Sqrt(Norm2(v)) }
+
+// Dist2 returns the squared Euclidean distance between a and b.
+//
+// This is the inner loop of every k-means variant in the repository; it is
+// deliberately branch-free and allocation-free.
+func Dist2(a, b Vector) float64 {
+	assertSameDim(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b Vector) float64 { return math.Sqrt(Dist2(a, b)) }
+
+// Add returns a+b as a new vector.
+func Add(a, b Vector) Vector {
+	assertSameDim(a, b)
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b Vector) {
+	assertSameDim(a, b)
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Sub returns a-b as a new vector.
+func Sub(a, b Vector) Vector {
+	assertSameDim(a, b)
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns s*v as a new vector.
+func Scale(v Vector, s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies v by s.
+func ScaleInPlace(v Vector, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Mean returns the centroid of vs. It panics on an empty input because a
+// centroid of nothing is undefined and callers guard against empty clusters.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("vec: Mean of empty set")
+	}
+	out := make(Vector, len(vs[0]))
+	for _, v := range vs {
+		AddInPlace(out, v)
+	}
+	ScaleInPlace(out, 1/float64(len(vs)))
+	return out
+}
+
+// Equal reports whether a and b are identical component-wise.
+func Equal(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether a and b differ by at most eps in every
+// component.
+func ApproxEqual(a, b Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the scalar projection of point p onto the direction d
+// (not necessarily unit length), i.e. <p, d> / |d|.
+//
+// G-means projects every point of a cluster onto the vector joining the
+// cluster's two candidate children; the resulting one-dimensional sample is
+// what the Anderson–Darling test consumes. When d is the zero vector the
+// projection is defined as 0 (the degenerate case of two identical candidate
+// centers, which the driver treats as "nothing to split").
+func Project(p, d Vector) float64 {
+	assertSameDim(p, d)
+	n := Norm(d)
+	if n == 0 {
+		return 0
+	}
+	return Dot(p, d) / n
+}
+
+// NearestIndex returns the index of the center nearest to p under squared
+// Euclidean distance, together with that squared distance. Ties resolve to
+// the lowest index, which keeps the assignment deterministic. It returns
+// (-1, +Inf) when centers is empty.
+func NearestIndex(p Vector, centers []Vector) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centers {
+		if d := Dist2(p, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// WeightedPoint is a running sum of points together with the number of
+// points accumulated. It is the value type exchanged by the k-means
+// mapper/combiner/reducer chain: combining two WeightedPoints is exact
+// partial aggregation, which is what makes MapReduce combiners sound for
+// k-means.
+type WeightedPoint struct {
+	Sum   Vector
+	Count int64
+}
+
+// NewWeightedPoint starts an accumulation from a single point.
+func NewWeightedPoint(p Vector) WeightedPoint {
+	return WeightedPoint{Sum: Clone(p), Count: 1}
+}
+
+// Merge accumulates other into w.
+func (w *WeightedPoint) Merge(other WeightedPoint) {
+	if w.Sum == nil {
+		w.Sum = make(Vector, len(other.Sum))
+	}
+	AddInPlace(w.Sum, other.Sum)
+	w.Count += other.Count
+}
+
+// Centroid returns Sum/Count. It panics when Count is zero.
+func (w WeightedPoint) Centroid() Vector {
+	if w.Count == 0 {
+		panic("vec: Centroid of empty WeightedPoint")
+	}
+	return Scale(w.Sum, 1/float64(w.Count))
+}
+
+// ByteSize reports the serialized size of the weighted point under the
+// engine's wire model: 8 bytes per coordinate plus an 8-byte count, plus an
+// 8-byte key. Used for shuffle-volume accounting.
+func (w WeightedPoint) ByteSize() int { return 8*len(w.Sum) + 16 }

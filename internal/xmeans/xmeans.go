@@ -1,0 +1,157 @@
+// Package xmeans implements X-means (Pelleg & Moore, ICML 2000), the other
+// iterative k-estimation algorithm the paper discusses in its related work:
+// "X-means iteratively uses k-means to optimize the position of centers and
+// increases the number of clusters if needed to optimize the Bayesian
+// Information Criterion (BIC)". It serves as an additional baseline for the
+// k-recovery comparison benchmarks.
+package xmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"gmeansmr/internal/criteria"
+	"gmeansmr/internal/lloyd"
+	"gmeansmr/internal/vec"
+)
+
+// Config parameterizes an X-means run.
+type Config struct {
+	// KMin is the number of clusters to start from (≥1). Zero selects 1.
+	KMin int
+	// KMax caps the number of clusters; zero selects 64.
+	KMax int
+	// MaxKMeansIterations bounds the inner Lloyd runs; zero selects 50.
+	MaxKMeansIterations int
+	// UseAIC switches the improvement criterion from BIC to AIC.
+	UseAIC bool
+	Seed   int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KMin <= 0 {
+		c.KMin = 1
+	}
+	if c.KMax <= 0 {
+		c.KMax = 64
+	}
+	if c.MaxKMeansIterations <= 0 {
+		c.MaxKMeansIterations = 50
+	}
+	return c
+}
+
+// Result is the outcome of an X-means run.
+type Result struct {
+	Centers    []vec.Vector
+	K          int
+	Assignment []int
+	WCSS       float64
+	// Rounds is the number of improve-structure rounds executed.
+	Rounds int
+}
+
+// Run executes X-means: alternate "improve params" (Lloyd on the full
+// center set) with "improve structure" (try splitting each cluster in two
+// and keep the split when the information criterion of the local 2-means
+// model beats the 1-cluster model).
+func Run(points []vec.Vector, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(points) == 0 {
+		return nil, errors.New("xmeans: no points")
+	}
+	if cfg.KMin > len(points) {
+		return nil, errors.New("xmeans: KMin exceeds point count")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res, err := lloyd.Run(points, lloyd.Config{
+		K: cfg.KMin, MaxIterations: cfg.MaxKMeansIterations,
+		Seeding: lloyd.SeedPlusPlus, Seed: rng.Int63(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	centers := res.Centers
+	rounds := 0
+	for len(centers) < cfg.KMax {
+		rounds++
+		// Improve params.
+		full, err := lloyd.RunFrom(points, centers, lloyd.Config{MaxIterations: cfg.MaxKMeansIterations})
+		if err != nil {
+			return nil, err
+		}
+		centers = full.Centers
+
+		// Improve structure: per-cluster split test.
+		members := make([][]int, len(centers))
+		for i, a := range full.Assignment {
+			members[a] = append(members[a], i)
+		}
+		var next []vec.Vector
+		splitAny := false
+		for ci, m := range members {
+			if len(m) < 4 || len(centers)+1 > cfg.KMax {
+				if len(m) > 0 {
+					next = append(next, centers[ci])
+				}
+				continue
+			}
+			sub := make([]vec.Vector, len(m))
+			for i, idx := range m {
+				sub[i] = points[idx]
+			}
+			parentScore := scoreModel(sub, []vec.Vector{centers[ci]}, cfg.UseAIC)
+			split, err := lloyd.Run(sub, lloyd.Config{
+				K: 2, MaxIterations: cfg.MaxKMeansIterations,
+				Seeding: lloyd.SeedPlusPlus, Seed: rng.Int63(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			childScore := scoreModel(sub, split.Centers, cfg.UseAIC)
+			if childScore > parentScore {
+				next = append(next, split.Centers...)
+				splitAny = true
+			} else {
+				next = append(next, centers[ci])
+			}
+		}
+		centers = next
+		if !splitAny {
+			break
+		}
+	}
+
+	final, err := lloyd.RunFrom(points, centers, lloyd.Config{MaxIterations: cfg.MaxKMeansIterations})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Centers:    final.Centers,
+		K:          len(final.Centers),
+		Assignment: final.Assignment,
+		WCSS:       final.WCSS,
+		Rounds:     rounds,
+	}, nil
+}
+
+// scoreModel evaluates the information criterion of a (sub)clustering;
+// higher is better.
+func scoreModel(points []vec.Vector, centers []vec.Vector, useAIC bool) float64 {
+	assign := lloyd.Assign(points, centers)
+	c := criteria.Clustering{
+		K:          len(centers),
+		Centers:    centers,
+		Assignment: assign,
+		WCSS:       lloyd.WCSS(points, centers, assign),
+	}
+	if len(points) <= len(centers) {
+		return math.Inf(-1)
+	}
+	if useAIC {
+		return criteria.AIC(points, c)
+	}
+	return criteria.BIC(points, c)
+}

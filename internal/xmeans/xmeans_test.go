@@ -1,0 +1,101 @@
+package xmeans
+
+import (
+	"math"
+	"testing"
+
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/vec"
+)
+
+func mixture(t *testing.T, k, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Spec{K: k, Dim: 2, N: n, MinSeparation: 25, StdDev: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunRecoversK(t *testing.T) {
+	ds := mixture(t, 5, 2500, 1)
+	res, err := Run(ds.Points, Config{KMax: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 5 || res.K > 8 {
+		t.Fatalf("X-means found k=%d for true k=5", res.K)
+	}
+	for _, truth := range ds.Centers {
+		_, d2 := vec.NearestIndex(truth, res.Centers)
+		if math.Sqrt(d2) > 3 {
+			t.Errorf("no center near truth %v", truth)
+		}
+	}
+}
+
+func TestRunSingleCluster(t *testing.T) {
+	ds := mixture(t, 1, 800, 3)
+	res, err := Run(ds.Points, Config{KMax: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("single Gaussian split into %d", res.K)
+	}
+}
+
+func TestRunRespectsKMax(t *testing.T) {
+	ds := mixture(t, 8, 2400, 4)
+	res, err := Run(ds.Points, Config{KMax: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 {
+		t.Errorf("KMax=3 violated: k=%d", res.K)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := Run([]vec.Vector{{1}}, Config{KMin: 5}); err == nil {
+		t.Error("KMin > n accepted")
+	}
+}
+
+func TestRunAssignmentConsistent(t *testing.T) {
+	ds := mixture(t, 3, 900, 5)
+	res, err := Run(ds.Points, Config{KMax: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) != len(ds.Points) {
+		t.Fatalf("assignment length %d", len(res.Assignment))
+	}
+	for i, a := range res.Assignment {
+		if a < 0 || a >= res.K {
+			t.Fatalf("assignment[%d] = %d out of range", i, a)
+		}
+	}
+	if res.WCSS <= 0 {
+		t.Errorf("WCSS = %v", res.WCSS)
+	}
+	if res.Rounds < 1 {
+		t.Errorf("Rounds = %d", res.Rounds)
+	}
+}
+
+func TestAICVariantRuns(t *testing.T) {
+	ds := mixture(t, 4, 1600, 7)
+	res, err := Run(ds.Points, Config{KMax: 16, UseAIC: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AIC penalizes less than BIC, so it may split a bit more but must be
+	// in a sane band.
+	if res.K < 4 || res.K > 10 {
+		t.Errorf("AIC X-means found k=%d for true k=4", res.K)
+	}
+}
