@@ -17,8 +17,10 @@ import (
 	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/lloyd"
+	"gmeansmr/internal/model"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/seqgmeans"
+	"gmeansmr/internal/serve"
 	"gmeansmr/internal/stats"
 	"gmeansmr/internal/vec"
 	"gmeansmr/internal/xmeans"
@@ -359,6 +361,72 @@ func BenchmarkXMeansVsGMeans(b *testing.B) {
 			b.ReportMetric(float64(res.K), "k_found")
 		}
 	})
+}
+
+// --- Serving path: assignment throughput -------------------------------------
+
+// servingFixture builds an assignment server over a trained-shaped model
+// (k centers in R^dim) plus a query stream drawn from the same mixture.
+func servingFixture(b *testing.B, k, dim int) (*serve.Server, []vec.Vector) {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.Spec{K: k, Dim: dim, N: 4096,
+		CenterRange: 100, StdDev: 1, MinSeparation: 8, Seed: 71})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.FromTraining(ds.Centers, ds.Points, nil, model.Meta{Algorithm: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(m, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, ds.Points
+}
+
+// BenchmarkAssign measures single-query latency on the serving hot path,
+// across all cores the way a live server takes traffic. k=4 exercises the
+// brute-force linear scan (k <= serve.DefaultBruteForceMaxK); the larger
+// k values exercise kd-tree descent.
+func BenchmarkAssign(b *testing.B) {
+	for _, k := range []int{4, 64, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			srv, queries := servingFixture(b, k, 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := srv.Assign(queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAssignBatch measures bulk-assignment throughput: one consistent
+// model snapshot answering a whole batch, the shape /v1/assign/batch
+// serves.
+func BenchmarkAssignBatch(b *testing.B) {
+	const batch = 1024
+	for _, k := range []int{64, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			srv, queries := servingFixture(b, k, 10)
+			points := queries[:batch]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.AssignBatch(points); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(batch, "points/op")
+		})
+	}
 }
 
 // --- Microbenchmarks of the hot kernels --------------------------------------

@@ -1,0 +1,196 @@
+// Command serve runs the cluster-assignment server: it obtains a model —
+// by loading a snapshot, training on a text dataset, or training on a
+// synthetic mixture — and serves nearest-center queries over HTTP.
+//
+// Load a snapshot and serve:
+//
+//	serve -model model.gmm -addr :8080
+//
+// Train on a dataset file (one point per line), save the snapshot, serve:
+//
+//	serve -data points.txt -dim 10 -save model.gmm -addr :8080
+//
+// Train on a synthetic mixture and serve (demo mode):
+//
+//	serve -train -k 16 -dim 10 -n 20000 -save model.gmm
+//
+// While running, overwrite the snapshot with a newer model and POST
+// /v1/model/reload to hot-swap it with zero downtime:
+//
+//	curl -XPOST localhost:8080/v1/model/reload
+//	curl -XPOST localhost:8080/v1/assign -d '{"point":[1.5,2.5]}'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	gmeansmr "gmeansmr"
+	"gmeansmr/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		modelPath = flag.String("model", "", "load this model snapshot and serve it")
+		dataPath  = flag.String("data", "", "train on this text dataset (one point per line)")
+		dim       = flag.Int("dim", 0, "dimensionality of -data points (required with -data)")
+		train     = flag.Bool("train", false, "train on a synthetic mixture")
+		k         = flag.Int("k", 8, "synthetic mixture: true cluster count")
+		n         = flag.Int("n", 20_000, "synthetic mixture: point count")
+		sep       = flag.Float64("sep", 10, "synthetic mixture: minimum center separation")
+		seed      = flag.Int64("seed", 1, "random seed for training")
+		alpha     = flag.Float64("alpha", 0, "Anderson-Darling significance level (0 = paper default)")
+		maxK      = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
+		savePath  = flag.String("save", "", "write the trained model snapshot here")
+	)
+	flag.Parse()
+
+	m, reloadPath, err := obtainModel(*modelPath, *dataPath, *dim, *train,
+		*k, *n, *sep, *seed, *alpha, *maxK, *savePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("model ready: k=%d dim=%d (algorithm=%q iterations=%d)",
+		m.K, m.Dim, m.Meta.Algorithm, m.Meta.Iterations)
+
+	opts := gmeansmr.ServerOptions{}
+	if reloadPath != "" {
+		opts.Loader = func() (*gmeansmr.Model, error) { return loadSnapshot(reloadPath) }
+		log.Printf("hot reload enabled from %s (POST /v1/model/reload)", reloadPath)
+	}
+	srv, err := gmeansmr.NewServer(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", *addr)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// obtainModel resolves the three model sources in precedence order and
+// returns the model plus the snapshot path reloads should re-read.
+func obtainModel(modelPath, dataPath string, dim int, train bool,
+	k, n int, sep float64, seed int64, alpha float64, maxK int,
+	savePath string) (*gmeansmr.Model, string, error) {
+
+	switch {
+	case modelPath != "":
+		m, err := loadSnapshot(modelPath)
+		return m, modelPath, err
+
+	case dataPath != "":
+		if dim <= 0 {
+			return nil, "", fmt.Errorf("-data requires -dim")
+		}
+		points, err := readPoints(dataPath, dim)
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := trainModel(points, gmeansmr.Options{Seed: seed, Alpha: alpha, MaxK: maxK}, savePath)
+		return m, savePath, err
+
+	case train:
+		if dim == 0 {
+			dim = 2
+		}
+		ds, err := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{
+			K: k, Dim: dim, N: n, MinSeparation: sep, Seed: seed,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := trainModel(ds.Points, gmeansmr.Options{Seed: seed, Alpha: alpha, MaxK: maxK}, savePath)
+		return m, savePath, err
+
+	default:
+		return nil, "", fmt.Errorf("need a model source: -model, -data or -train (see -h)")
+	}
+}
+
+func trainModel(points []gmeansmr.Point, opts gmeansmr.Options, savePath string) (*gmeansmr.Model, error) {
+	log.Printf("training on %d points...", len(points))
+	res, err := gmeansmr.Cluster(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("trained: k=%d in %d iterations", res.K, res.Iterations)
+	m, err := gmeansmr.BuildModel(res, points)
+	if err != nil {
+		return nil, err
+	}
+	if savePath != "" {
+		if err := saveSnapshot(m, savePath); err != nil {
+			return nil, err
+		}
+		log.Printf("snapshot written to %s", savePath)
+	}
+	return m, nil
+}
+
+func loadSnapshot(path string) (*gmeansmr.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return gmeansmr.LoadModel(bufio.NewReader(f))
+}
+
+func saveSnapshot(m *gmeansmr.Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := gmeansmr.SaveModel(m, w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readPoints(path string, dim int) ([]gmeansmr.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var points []gmeansmr.Point
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		p, err := dataset.ParsePointDim(line, dim)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return points, nil
+}

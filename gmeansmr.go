@@ -21,6 +21,27 @@
 //	res, _ := gmeansmr.Cluster(ds.Points, gmeansmr.Options{})
 //	fmt.Println("discovered k =", res.K)
 //
+// # Serving
+//
+// Training is a batch job; answering "which cluster does this point belong
+// to?" is an online one. A finished run converts into a persistent,
+// versioned model snapshot and a concurrent HTTP server (see cmd/serve for
+// the standalone binary):
+//
+//	m, _ := gmeansmr.BuildModel(res, ds.Points)
+//	f, _ := os.Create("model.gmm")
+//	gmeansmr.SaveModel(m, f) // later: m, _ = gmeansmr.LoadModel(r)
+//	f.Close()
+//
+//	srv, _ := gmeansmr.NewServer(m, gmeansmr.ServerOptions{})
+//	a, _ := srv.Assign([]float64{1.5, 2.5}) // kd-tree nearest center
+//	fmt.Println("cluster", a.Cluster, "at distance", a.Distance)
+//	http.ListenAndServe(":8080", srv)       // POST /v1/assign, /v1/assign/batch, ...
+//
+// The server shares one immutable model snapshot across all goroutines and
+// hot-swaps it atomically (POST /v1/model/reload), so a newly trained model
+// replaces the old one with zero downtime.
+//
 // For full control over the simulated cluster, file system and algorithm
 // parameters, build a core.Config directly (see the cmd/ and examples/
 // directories).
@@ -28,12 +49,15 @@ package gmeansmr
 
 import (
 	"fmt"
+	"io"
 
 	"gmeansmr/internal/core"
 	"gmeansmr/internal/dataset"
 	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/model"
 	"gmeansmr/internal/mr"
+	"gmeansmr/internal/serve"
 	"gmeansmr/internal/vec"
 )
 
@@ -149,3 +173,49 @@ func Cluster(points []Point, opts Options) (*Result, error) {
 		Counters:   res.Counters.Snapshot(),
 	}, nil
 }
+
+// Model is a trained clustering model: centers, per-cluster statistics and
+// training provenance, with a versioned binary snapshot format.
+type Model = model.Model
+
+// ModelMeta is the training provenance carried inside a model snapshot.
+type ModelMeta = model.Meta
+
+// BuildModel converts a finished Cluster run into a persistent model,
+// deriving per-cluster point counts and radii from the run's assignment.
+// points must be the same slice Cluster was called with.
+func BuildModel(res *Result, points []Point) (*Model, error) {
+	if res == nil {
+		return nil, fmt.Errorf("gmeansmr: nil result")
+	}
+	return model.FromTraining(res.Centers, points, res.Assignment, ModelMeta{
+		Algorithm:  "gmeans-mr",
+		Iterations: res.Iterations,
+		Counters:   res.Counters,
+	})
+}
+
+// SaveModel writes a versioned, checksummed model snapshot to w. The
+// encoding is deterministic and round-trip stable.
+func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
+
+// LoadModel reads a model snapshot written by SaveModel, verifying its
+// magic, format version and checksum.
+func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
+
+// Server is the cluster-assignment HTTP server: kd-tree-accelerated
+// nearest-center queries over an immutable model snapshot that hot-swaps
+// atomically. It implements http.Handler; see the package example and
+// cmd/serve.
+type Server = serve.Server
+
+// ServerOptions configure NewServer; the zero value is serviceable.
+type ServerOptions = serve.Options
+
+// Assignment is one answered query: nearest center index plus Euclidean
+// distance.
+type Assignment = serve.Assignment
+
+// NewServer builds an assignment server over m. The model is retained and
+// must not be mutated afterwards.
+func NewServer(m *Model, opts ServerOptions) (*Server, error) { return serve.New(m, opts) }

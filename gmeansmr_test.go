@@ -1,6 +1,7 @@
 package gmeansmr
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -43,6 +44,59 @@ func TestClusterFacadeEndToEnd(t *testing.T) {
 	}
 	if res.Iterations < 3 {
 		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+// TestModelServeFacadeEndToEnd walks the full production path: train,
+// convert to a model, persist, reload, serve — and checks the served
+// (kd-tree) answers against brute-force nearest center.
+func TestModelServeFacadeEndToEnd(t *testing.T) {
+	ds, err := GenerateDataset(DatasetSpec{K: 10, Dim: 3, N: 8000, MinSeparation: 20, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(ds.Points, Options{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(res, ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != res.K || m.Meta.Algorithm != "gmeans-mr" || m.Meta.Iterations != res.Iterations {
+		t.Fatalf("model metadata: %+v", m.Meta)
+	}
+	var total int64
+	for _, c := range m.Counts {
+		total += c
+	}
+	if total != int64(len(ds.Points)) {
+		t.Fatalf("counts sum to %d, want %d", total, len(ds.Points))
+	}
+
+	var buf bytes.Buffer
+	if err := SaveModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(loaded, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(ds.Points); i += 97 {
+		got, err := srv.Assign(ds.Points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantD2 := vec.NearestIndex(ds.Points[i], loaded.Centers)
+		if got.Cluster != want || got.Distance != math.Sqrt(wantD2) {
+			t.Fatalf("point %d: served %+v, brute force wants cluster %d distance %g",
+				i, got, want, math.Sqrt(wantD2))
+		}
 	}
 }
 

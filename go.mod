@@ -1,0 +1,3 @@
+module gmeansmr
+
+go 1.24

@@ -1,0 +1,350 @@
+// Package model defines the persistent artifact a training run produces:
+// a versioned, self-describing snapshot of a clustering model — the
+// centers, per-cluster statistics, and enough training metadata to audit
+// where the model came from. Training (core.Run, the MR pipeline) is a
+// batch job; serving assignment queries is an online system with a
+// different lifetime, so the model must outlive the process that trained
+// it. Save/Load is that boundary.
+//
+// # Wire format (version 1)
+//
+//	magic   [4]byte  "GMMR"
+//	version uint32   little-endian, currently 1
+//	hdrLen  uint32   little-endian length of the JSON header
+//	header  []byte   JSON: k, dim, counts, radii, metadata
+//	centers []byte   k*dim float64, little-endian, row-major
+//	crc     uint32   IEEE CRC-32 of every preceding byte
+//
+// The JSON header makes the format self-describing and forward-extensible:
+// a version-1 reader ignores header fields it does not know, so version-1
+// writers may grow new metadata without a version bump. The version field
+// is bumped only for layout changes a version-1 reader cannot skip; Load
+// rejects those explicitly (ErrNewerVersion) rather than misparsing. The
+// trailing CRC turns truncation and bit rot into a clean ErrChecksum
+// instead of a silently wrong model.
+package model
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"gmeansmr/internal/vec"
+)
+
+// Version is the current snapshot format version written by Save.
+const Version = 1
+
+// magic identifies a gmeansmr model snapshot.
+var magic = [4]byte{'G', 'M', 'M', 'R'}
+
+// maxHeaderLen bounds the JSON header so a corrupt length prefix cannot
+// drive an absurd allocation.
+const maxHeaderLen = 16 << 20
+
+// maxCenterBytes bounds k*dim*8 for the same reason: a model of a billion
+// centers is not a model, it is a corrupt file.
+const maxCenterBytes = 1 << 30
+
+// Errors distinguishing the ways a snapshot can fail to load. All are
+// wrapped with context; test with errors.Is.
+var (
+	// ErrBadMagic means the input is not a model snapshot at all.
+	ErrBadMagic = errors.New("model: not a gmeansmr model snapshot (bad magic)")
+	// ErrNewerVersion means the snapshot was written by a newer format
+	// version than this reader understands.
+	ErrNewerVersion = errors.New("model: snapshot format version is newer than this reader")
+	// ErrChecksum means the snapshot is corrupt (CRC mismatch) or truncated.
+	ErrChecksum = errors.New("model: snapshot corrupt (checksum mismatch)")
+	// ErrInvalid means the snapshot decoded but describes an impossible
+	// model (k<=0, dimension mismatch, non-finite coordinates, ...).
+	ErrInvalid = errors.New("model: invalid model")
+)
+
+// Meta is the training provenance carried inside a snapshot. Every field
+// is optional; unknown fields in a stored header are ignored on load, so
+// the set can grow without a format-version bump.
+type Meta struct {
+	// Algorithm names the trainer, e.g. "gmeans-mr".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Iterations is the number of training rounds (G-means rounds for the
+	// MR pipeline).
+	Iterations int `json:"iterations,omitempty"`
+	// Alpha is the Anderson–Darling significance level used in training.
+	Alpha float64 `json:"alpha,omitempty"`
+	// TrainedAtUnix is the training wall-clock time in Unix seconds.
+	TrainedAtUnix int64 `json:"trained_at_unix,omitempty"`
+	// SourcePoints is the number of points the model was trained on.
+	SourcePoints int64 `json:"source_points,omitempty"`
+	// Counters is the engine's cost accounting for the training run
+	// (distance computations, shuffle bytes, AD tests, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Model is a trained clustering model: the centers plus per-cluster
+// statistics. A Model handed to the serving layer is treated as immutable;
+// mutate a copy (Clone) instead.
+type Model struct {
+	// K is the number of clusters; always len(Centers).
+	K int
+	// Dim is the dimensionality of the centers.
+	Dim int
+	// Centers are the cluster centers, each of length Dim.
+	Centers []vec.Vector
+	// Counts[i] is the number of training points assigned to cluster i.
+	// Empty when the trainer did not record assignments.
+	Counts []int64
+	// Radii[i] is the distance from center i to its farthest assigned
+	// training point — a per-cluster scale useful for anomaly thresholds.
+	// Empty when the trainer did not record assignments.
+	Radii []float64
+	// Meta is the training provenance.
+	Meta Meta
+}
+
+// header is the JSON-encoded self-describing part of the wire format.
+type header struct {
+	K      int       `json:"k"`
+	Dim    int       `json:"dim"`
+	Counts []int64   `json:"counts,omitempty"`
+	Radii  []float64 `json:"radii,omitempty"`
+	Meta   Meta      `json:"meta"`
+}
+
+// New builds a model from bare centers, without per-cluster statistics.
+func New(centers []vec.Vector, meta Meta) (*Model, error) {
+	m := &Model{K: len(centers), Centers: centers, Meta: meta}
+	if len(centers) > 0 {
+		m.Dim = len(centers[0])
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromTraining builds a model from a finished training run: the centers
+// plus the training points, from which it derives per-cluster counts and
+// radii. assign may be nil, in which case each point is assigned to its
+// nearest center; when non-nil it must map points[i] to a center index.
+func FromTraining(centers []vec.Vector, points []vec.Vector, assign []int, meta Meta) (*Model, error) {
+	m, err := New(vec.CloneAll(centers), meta)
+	if err != nil {
+		return nil, err
+	}
+	if assign != nil && len(assign) != len(points) {
+		return nil, fmt.Errorf("%w: %d assignments for %d points", ErrInvalid, len(assign), len(points))
+	}
+	m.Counts = make([]int64, m.K)
+	m.Radii = make([]float64, m.K)
+	// Track squared radii and take one square root per cluster at the end:
+	// the per-point work stays a single O(k·dim) scan (or one Dist2 when
+	// the assignment is given).
+	maxD2 := make([]float64, m.K)
+	for i, p := range points {
+		if len(p) != m.Dim {
+			return nil, fmt.Errorf("%w: point %d has %d dimensions, centers have %d", ErrInvalid, i, len(p), m.Dim)
+		}
+		c := -1
+		var d2 float64
+		if assign != nil {
+			c = assign[i]
+			if c < 0 || c >= m.K {
+				return nil, fmt.Errorf("%w: assignment %d out of range [0,%d)", ErrInvalid, c, m.K)
+			}
+			d2 = vec.Dist2(p, centers[c])
+		} else {
+			c, d2 = vec.NearestIndex(p, centers)
+			if c < 0 {
+				return nil, fmt.Errorf("%w: point %d has no finite distance to any center", ErrInvalid, i)
+			}
+		}
+		m.Counts[c]++
+		if d2 > maxD2[c] {
+			maxD2[c] = d2
+		}
+	}
+	for c, d2 := range maxD2 {
+		m.Radii[c] = math.Sqrt(d2)
+	}
+	m.Meta.SourcePoints = int64(len(points))
+	return m, nil
+}
+
+// Validate reports whether the model is internally consistent.
+func (m *Model) Validate() error {
+	if m.K <= 0 || m.K != len(m.Centers) {
+		return fmt.Errorf("%w: k=%d with %d centers", ErrInvalid, m.K, len(m.Centers))
+	}
+	if m.Dim <= 0 {
+		return fmt.Errorf("%w: dim=%d", ErrInvalid, m.Dim)
+	}
+	for i, c := range m.Centers {
+		if len(c) != m.Dim {
+			return fmt.Errorf("%w: center %d has %d dimensions, want %d", ErrInvalid, i, len(c), m.Dim)
+		}
+		for j, x := range c {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("%w: center %d coordinate %d is %v", ErrInvalid, i, j, x)
+			}
+		}
+	}
+	if len(m.Counts) != 0 && len(m.Counts) != m.K {
+		return fmt.Errorf("%w: %d counts for k=%d", ErrInvalid, len(m.Counts), m.K)
+	}
+	if len(m.Radii) != 0 && len(m.Radii) != m.K {
+		return fmt.Errorf("%w: %d radii for k=%d", ErrInvalid, len(m.Radii), m.K)
+	}
+	return nil
+}
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	out := &Model{K: m.K, Dim: m.Dim, Centers: vec.CloneAll(m.Centers), Meta: m.Meta}
+	if m.Counts != nil {
+		out.Counts = append([]int64(nil), m.Counts...)
+	}
+	if m.Radii != nil {
+		out.Radii = append([]float64(nil), m.Radii...)
+	}
+	if m.Meta.Counters != nil {
+		out.Meta.Counters = make(map[string]int64, len(m.Meta.Counters))
+		for k, v := range m.Meta.Counters {
+			out.Meta.Counters[k] = v
+		}
+	}
+	return out
+}
+
+// Save writes the model to w in the versioned snapshot format. The
+// encoding is byte-for-byte deterministic for a given model, so snapshots
+// diff and dedupe cleanly.
+func (m *Model) Save(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(header{K: m.K, Dim: m.Dim, Counts: m.Counts, Radii: m.Radii, Meta: m.Meta})
+	if err != nil {
+		return fmt.Errorf("model: encode header: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	cw := io.MultiWriter(w, crc)
+
+	var fixed [12]byte
+	copy(fixed[:4], magic[:])
+	binary.LittleEndian.PutUint32(fixed[4:8], Version)
+	binary.LittleEndian.PutUint32(fixed[8:12], uint32(len(hdr)))
+	if _, err := cw.Write(fixed[:]); err != nil {
+		return fmt.Errorf("model: write header: %w", err)
+	}
+	if _, err := cw.Write(hdr); err != nil {
+		return fmt.Errorf("model: write header: %w", err)
+	}
+
+	buf := make([]byte, 8*m.Dim)
+	for _, c := range m.Centers {
+		for j, x := range c {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(x))
+		}
+		if _, err := cw.Write(buf); err != nil {
+			return fmt.Errorf("model: write centers: %w", err)
+		}
+	}
+
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("model: write checksum: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model snapshot from r, verifying magic, version, checksum
+// and internal consistency. It reads exactly one snapshot and does not
+// consume bytes past it, so snapshots can be concatenated in one stream.
+func Load(r io.Reader) (*Model, error) {
+	crc := crc32.NewIEEE()
+	cr := &checksumReader{r: r, h: crc}
+
+	var fixed [12]byte
+	if _, err := io.ReadFull(cr, fixed[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadMagic, err)
+	}
+	if [4]byte(fixed[:4]) != magic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, fixed[:4])
+	}
+	version := binary.LittleEndian.Uint32(fixed[4:8])
+	if version == 0 || version > Version {
+		return nil, fmt.Errorf("%w: snapshot version %d, reader supports <= %d", ErrNewerVersion, version, Version)
+	}
+	hdrLen := binary.LittleEndian.Uint32(fixed[8:12])
+	if hdrLen == 0 || hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("%w: implausible header length %d", ErrChecksum, hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(cr, hdrBytes); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrChecksum, err)
+	}
+	var hdr header
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrChecksum, err)
+	}
+	// Bound each factor before multiplying so a crafted header cannot
+	// overflow the product past the guard and drive an absurd allocation.
+	const maxCenterFloats = maxCenterBytes / 8
+	if hdr.K <= 0 || hdr.Dim <= 0 ||
+		hdr.K > maxCenterFloats || hdr.Dim > maxCenterFloats ||
+		int64(hdr.K)*int64(hdr.Dim) > maxCenterFloats {
+		return nil, fmt.Errorf("%w: implausible k=%d dim=%d", ErrInvalid, hdr.K, hdr.Dim)
+	}
+
+	centers := make([]vec.Vector, hdr.K)
+	buf := make([]byte, 8*hdr.Dim)
+	for i := range centers {
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("%w: short centers: %v", ErrChecksum, err)
+		}
+		c := make(vec.Vector, hdr.Dim)
+		for j := range c {
+			c[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		centers[i] = c
+	}
+
+	sum := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrChecksum, err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, sum)
+	}
+
+	m := &Model{K: hdr.K, Dim: hdr.Dim, Centers: centers, Counts: hdr.Counts, Radii: hdr.Radii, Meta: hdr.Meta}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checksumReader feeds every byte it reads through the hash. Unlike
+// io.TeeReader it cannot fail on the hash side, and keeping the final
+// 4-byte CRC outside the hashed stream is the caller's job (Load reads the
+// tail from the underlying reader directly).
+type checksumReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *checksumReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
+}

@@ -1,0 +1,274 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"gmeansmr/internal/vec"
+)
+
+func sampleModel() *Model {
+	return &Model{
+		K:   3,
+		Dim: 2,
+		Centers: []vec.Vector{
+			{1.5, -2.25},
+			{0, 1e-9},
+			{123456.789, -0.001},
+		},
+		Counts: []int64{10, 20, 30},
+		Radii:  []float64{1.25, 0.5, 7.75},
+		Meta: Meta{
+			Algorithm:     "gmeans-mr",
+			Iterations:    7,
+			Alpha:         0.0001,
+			TrainedAtUnix: 1700000000,
+			SourcePoints:  60,
+			Counters:      map[string]int64{"app.distance.computations": 42},
+		},
+	}
+}
+
+func mustSave(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := sampleModel()
+	got, err := Load(bytes.NewReader(mustSave(t, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", m, got)
+	}
+}
+
+func TestSaveLoadMinimalModel(t *testing.T) {
+	m, err := New([]vec.Vector{{1, 2, 3}}, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(mustSave(t, m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 1 || got.Dim != 3 || !vec.Equal(got.Centers[0], m.Centers[0]) {
+		t.Fatalf("minimal round trip: %+v", got)
+	}
+	if len(got.Counts) != 0 || len(got.Radii) != 0 {
+		t.Fatalf("minimal model grew statistics: %+v", got)
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	m := sampleModel()
+	a, b := mustSave(t, m), mustSave(t, m)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two saves of the same model differ")
+	}
+}
+
+func TestLoadRejectsCorruptBytes(t *testing.T) {
+	raw := mustSave(t, sampleModel())
+	// Flip one byte in several regions: fixed header, JSON header, center
+	// payload, and the trailing CRC itself. Every flip must surface as an
+	// explicit load error, never as a silently different model.
+	for _, pos := range []int{5, 14, len(raw) - 10, len(raw) - 1} {
+		mutated := append([]byte(nil), raw...)
+		mutated[pos] ^= 0x40
+		if _, err := Load(bytes.NewReader(mutated)); err == nil {
+			t.Errorf("flip at byte %d: load succeeded", pos)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	raw := mustSave(t, sampleModel())
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes: load succeeded", cut)
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model at all"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage input: got %v, want ErrBadMagic", err)
+	}
+	if _, err := Load(bytes.NewReader(nil)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("empty input: got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestLoadRejectsNewerVersion(t *testing.T) {
+	raw := mustSave(t, sampleModel())
+	mutated := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(mutated[4:8], Version+1)
+	if _, err := Load(bytes.NewReader(mutated)); !errors.Is(err, ErrNewerVersion) {
+		t.Errorf("version bump: got %v, want ErrNewerVersion", err)
+	}
+}
+
+// assemble builds a syntactically valid snapshot from raw parts, with a
+// correct CRC, so tests can exercise header-level compatibility.
+func assemble(t *testing.T, hdrJSON []byte, centers []vec.Vector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write([]byte("GMMR"))
+	binary.Write(&buf, binary.LittleEndian, uint32(Version))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(hdrJSON)))
+	buf.Write(hdrJSON)
+	for _, c := range centers {
+		for _, x := range c {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(x))
+		}
+	}
+	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes()))
+	return buf.Bytes()
+}
+
+func TestLoadIgnoresUnknownHeaderFields(t *testing.T) {
+	// A same-version writer from the future may add header fields; a
+	// version-1 reader must skip them, not fail.
+	hdr := []byte(`{"k":2,"dim":1,"meta":{"algorithm":"x","future_field":"?"},"another_future_field":[1,2,3]}`)
+	raw := assemble(t, hdr, []vec.Vector{{1}, {2}})
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 2 || m.Dim != 1 || m.Meta.Algorithm != "x" {
+		t.Fatalf("decoded %+v", m)
+	}
+}
+
+func TestLoadRejectsImplausibleHeader(t *testing.T) {
+	for _, hdr := range []string{
+		`{"k":0,"dim":1,"meta":{}}`,
+		`{"k":1,"dim":0,"meta":{}}`,
+		`{"k":1000000000,"dim":1000,"meta":{}}`,
+		// k*dim*8 overflows int64 to a small value; the guard must bound
+		// each factor, not just the product.
+		`{"k":2147483648,"dim":2147483648,"meta":{}}`,
+	} {
+		raw := assemble(t, []byte(hdr), nil)
+		if _, err := Load(bytes.NewReader(raw)); err == nil {
+			t.Errorf("header %s accepted", hdr)
+		}
+	}
+}
+
+func TestLoadRejectsNaNCenters(t *testing.T) {
+	hdr, _ := json.Marshal(header{K: 1, Dim: 1})
+	raw := assemble(t, hdr, []vec.Vector{{math.NaN()}})
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NaN center: got %v, want ErrInvalid", err)
+	}
+}
+
+func TestLoadStopsAtSnapshotBoundary(t *testing.T) {
+	a, b := sampleModel(), sampleModel()
+	b.Centers[0][0] = 99
+	stream := bytes.NewReader(append(mustSave(t, a), mustSave(t, b)...))
+	first, err := Load(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Load(stream)
+	if err != nil {
+		t.Fatalf("second snapshot in stream: %v", err)
+	}
+	if first.Centers[0][0] == 99 || second.Centers[0][0] != 99 {
+		t.Fatal("snapshot boundary not respected")
+	}
+}
+
+func TestFromTraining(t *testing.T) {
+	centers := []vec.Vector{{0, 0}, {10, 0}}
+	points := []vec.Vector{{1, 0}, {-2, 0}, {10, 3}}
+	m, err := FromTraining(centers, points, nil, Meta{Algorithm: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Counts, []int64{2, 1}) {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	if m.Radii[0] != 2 || m.Radii[1] != 3 {
+		t.Errorf("radii = %v", m.Radii)
+	}
+	if m.Meta.SourcePoints != 3 {
+		t.Errorf("source points = %d", m.Meta.SourcePoints)
+	}
+
+	// An explicit assignment must take precedence over nearest-center.
+	m2, err := FromTraining(centers, points, []int{1, 1, 1}, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2.Counts, []int64{0, 3}) {
+		t.Errorf("explicit assignment counts = %v", m2.Counts)
+	}
+
+	// FromTraining clones the centers: mutating the input afterwards must
+	// not reach the model.
+	centers[0][0] = 777
+	if m.Centers[0][0] == 777 {
+		t.Error("FromTraining retained caller's center storage")
+	}
+}
+
+func TestFromTrainingRejectsBadAssignment(t *testing.T) {
+	centers := []vec.Vector{{0}}
+	if _, err := FromTraining(centers, []vec.Vector{{1}}, []int{5}, Meta{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("out-of-range assignment: got %v", err)
+	}
+	if _, err := FromTraining(centers, []vec.Vector{{1}, {2}}, []int{0}, Meta{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("length mismatch: got %v", err)
+	}
+	// Points of the wrong dimensionality must surface as ErrInvalid, not
+	// as a vec panic.
+	if _, err := FromTraining(centers, []vec.Vector{{1, 2}}, nil, Meta{}); !errors.Is(err, ErrInvalid) {
+		t.Errorf("dimension mismatch: got %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for name, m := range map[string]*Model{
+		"no centers":    {K: 1, Dim: 1},
+		"k mismatch":    {K: 2, Dim: 1, Centers: []vec.Vector{{1}}},
+		"ragged":        {K: 2, Dim: 2, Centers: []vec.Vector{{1, 2}, {3}}},
+		"nan":           {K: 1, Dim: 1, Centers: []vec.Vector{{math.NaN()}}},
+		"inf":           {K: 1, Dim: 1, Centers: []vec.Vector{{math.Inf(1)}}},
+		"counts length": {K: 1, Dim: 1, Centers: []vec.Vector{{1}}, Counts: []int64{1, 2}},
+		"radii length":  {K: 1, Dim: 1, Centers: []vec.Vector{{1}}, Radii: []float64{1, 2}},
+	} {
+		if err := m.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: got %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := sampleModel()
+	c := m.Clone()
+	if !reflect.DeepEqual(m, c) {
+		t.Fatal("clone differs")
+	}
+	c.Centers[0][0] = -999
+	c.Counts[0] = -999
+	c.Meta.Counters["app.distance.computations"] = -999
+	if m.Centers[0][0] == -999 || m.Counts[0] == -999 || m.Meta.Counters["app.distance.computations"] == -999 {
+		t.Fatal("clone shares storage with original")
+	}
+}

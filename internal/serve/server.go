@@ -1,0 +1,384 @@
+// Package serve is the query-time half of the system: an HTTP server that
+// answers "which cluster does this point belong to?" against a trained
+// model. Training is a batch MapReduce pipeline; this layer is built for
+// the opposite regime — many small concurrent requests against a small
+// read-only center set.
+//
+// Two design points carry the load:
+//
+//   - Nearest-center lookup goes through the same kdtree acceleration the
+//     training inner loop uses, with a brute-force linear scan below a
+//     small k where tree descent overhead exceeds the scan (the tree wins
+//     only once pruning saves more distance computations than the
+//     traversal costs).
+//   - The active model lives behind an atomic.Pointer. Every request loads
+//     the pointer once and works against that immutable snapshot (model +
+//     index built together), so a concurrent hot swap (POST
+//     /v1/model/reload) is invisible to in-flight requests: they finish on
+//     the old model, new requests see the new one, and no lock is ever
+//     taken on the query path.
+//
+// Endpoints:
+//
+//	POST /v1/assign        {"point":[...]}            → cluster id, center, distance
+//	POST /v1/assign/batch  {"points":[[...],...]}     → per-point cluster id + distance
+//	GET  /v1/model                                    → model metadata
+//	POST /v1/model/reload                             → hot-swap from the configured loader
+//	GET  /healthz                                     → liveness + model summary
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"gmeansmr/internal/kdtree"
+	"gmeansmr/internal/model"
+	"gmeansmr/internal/vec"
+)
+
+// DefaultBruteForceMaxK is the center count at or below which assignment
+// uses a linear scan instead of the kd-tree.
+const DefaultBruteForceMaxK = 8
+
+// DefaultMaxBatch caps the number of points in one batch request.
+const DefaultMaxBatch = 10_000
+
+// defaultMaxBodyBytes caps a request body; a batch of DefaultMaxBatch
+// points in R^100 in JSON fits comfortably.
+const defaultMaxBodyBytes = 64 << 20
+
+// Options configure a Server. The zero value is serviceable.
+type Options struct {
+	// Loader, when non-nil, is the snapshot source POST /v1/model/reload
+	// pulls the replacement model from (typically: re-read the snapshot
+	// file a trainer overwrites). Without it reload requests fail.
+	Loader func() (*model.Model, error)
+	// BruteForceMaxK overrides DefaultBruteForceMaxK (<=0 = default).
+	BruteForceMaxK int
+	// MaxBatch overrides DefaultMaxBatch (<=0 = default).
+	MaxBatch int
+}
+
+// Assignment is one point's answer: the nearest center's index and the
+// Euclidean distance to it.
+type Assignment struct {
+	Cluster  int     `json:"cluster"`
+	Distance float64 `json:"distance"`
+}
+
+// assigner pairs an immutable model with the index built over its centers.
+// The pair swaps atomically as a unit, so a request can never see a tree
+// built over a different model than the one it reads centers from.
+type assigner struct {
+	m    *model.Model
+	tree *kdtree.Tree // nil → brute force
+	gen  int64        // swap generation, 1-based
+}
+
+// errNumericRange covers NaN coordinates and magnitudes whose squared
+// distance overflows to +Inf against every center: nearest-center search
+// returns index -1 for those, which must never leak to callers as a
+// "cluster".
+var errNumericRange = errors.New("serve: point is outside the model's numeric range")
+
+func (a *assigner) assign(p vec.Vector) (Assignment, error) {
+	var idx int
+	var d2 float64
+	if a.tree != nil {
+		idx, d2 = a.tree.Nearest(p)
+	} else {
+		idx, d2 = vec.NearestIndex(p, a.m.Centers)
+	}
+	if idx < 0 {
+		return Assignment{}, errNumericRange
+	}
+	return Assignment{Cluster: idx, Distance: math.Sqrt(d2)}, nil
+}
+
+// assignBatch validates and assigns a whole batch against this one
+// snapshot — the single implementation behind both Server.AssignBatch and
+// the HTTP batch handler.
+func (a *assigner) assignBatch(points []vec.Vector) ([]Assignment, error) {
+	out := make([]Assignment, len(points))
+	for i, p := range points {
+		if len(p) != a.m.Dim {
+			return nil, fmt.Errorf("serve: point %d has %d dimensions, model wants %d", i, len(p), a.m.Dim)
+		}
+		asg, err := a.assign(p)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		out[i] = asg
+	}
+	return out, nil
+}
+
+// Server answers assignment queries over the active model. It is safe for
+// concurrent use and implements http.Handler. Create with New.
+type Server struct {
+	active atomic.Pointer[assigner]
+	// swapMu serializes swaps so generations stored in active are
+	// monotonic; reloadMu serializes whole load+swap reload sequences so
+	// a slow loader cannot reinstall a stale model over a newer one. The
+	// query path takes neither.
+	swapMu   sync.Mutex
+	reloadMu sync.Mutex
+	gen      int64
+	loader   func() (*model.Model, error)
+	bruteK   int
+	maxBatch int
+	mux      *http.ServeMux
+}
+
+// New builds a Server over m. The model is retained and must not be
+// mutated afterwards; the serving layer treats it as immutable.
+func New(m *model.Model, opts Options) (*Server, error) {
+	s := &Server{
+		loader:   opts.Loader,
+		bruteK:   opts.BruteForceMaxK,
+		maxBatch: opts.MaxBatch,
+	}
+	if s.bruteK <= 0 {
+		s.bruteK = DefaultBruteForceMaxK
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if err := s.Swap(m); err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/assign", s.handleAssign)
+	mux.HandleFunc("POST /v1/assign/batch", s.handleAssignBatch)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// Swap atomically replaces the active model. In-flight requests finish on
+// the model they started with; requests that begin after Swap returns see
+// the new one. The model must not be mutated after being handed over.
+func (s *Server) Swap(m *model.Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	a := &assigner{m: m}
+	if m.K > s.bruteK {
+		a.tree = kdtree.Build(m.Centers)
+	}
+	s.swapMu.Lock()
+	s.gen++
+	a.gen = s.gen
+	s.active.Store(a)
+	s.swapMu.Unlock()
+	return nil
+}
+
+// Reload pulls a fresh model from the configured loader and swaps it in.
+// Reloads are serialized end to end (load + swap), so two concurrent
+// reloads racing a snapshot overwrite cannot install the older model last.
+func (s *Server) Reload() error {
+	if s.loader == nil {
+		return errors.New("serve: no loader configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	m, err := s.loader()
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	return s.Swap(m)
+}
+
+// Model returns the active model. Treat it as read-only.
+func (s *Server) Model() *model.Model { return s.active.Load().m }
+
+// Generation returns the active model's swap generation (1 for the model
+// the server started with, incremented on every successful swap).
+func (s *Server) Generation() int64 { return s.active.Load().gen }
+
+// Assign answers a single query against the active model: the nearest
+// center's index and the Euclidean distance to it.
+func (s *Server) Assign(p vec.Vector) (Assignment, error) {
+	a := s.active.Load()
+	if len(p) != a.m.Dim {
+		return Assignment{}, fmt.Errorf("serve: point has %d dimensions, model wants %d", len(p), a.m.Dim)
+	}
+	return a.assign(p)
+}
+
+// AssignBatch answers a batch of queries against one consistent model
+// snapshot: every point in the batch is assigned by the same model even if
+// a swap lands mid-batch.
+func (s *Server) AssignBatch(points []vec.Vector) ([]Assignment, error) {
+	return s.active.Load().assignBatch(points)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- handlers ---------------------------------------------------------------
+
+type assignRequest struct {
+	Point vec.Vector `json:"point"`
+}
+
+type assignResponse struct {
+	Cluster  int        `json:"cluster"`
+	Center   vec.Vector `json:"center"`
+	Distance float64    `json:"distance"`
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req assignRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Point) == 0 {
+		httpError(w, http.StatusBadRequest, "missing point")
+		return
+	}
+	// Load the assigner once so cluster id and center come from the same
+	// model even under a concurrent swap.
+	a := s.active.Load()
+	if len(req.Point) != a.m.Dim {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("point has %d dimensions, model wants %d", len(req.Point), a.m.Dim))
+		return
+	}
+	asg, err := a.assign(req.Point)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, assignResponse{
+		Cluster:  asg.Cluster,
+		Center:   a.m.Centers[asg.Cluster],
+		Distance: asg.Distance,
+	})
+}
+
+type batchRequest struct {
+	Points []vec.Vector `json:"points"`
+}
+
+type batchResponse struct {
+	Assignments []Assignment `json:"assignments"`
+	K           int          `json:"k"`
+}
+
+func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "missing points")
+		return
+	}
+	if len(req.Points) > s.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d points exceeds limit %d", len(req.Points), s.maxBatch))
+		return
+	}
+	a := s.active.Load()
+	out, err := a.assignBatch(req.Points)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Assignments: out, K: a.m.K})
+}
+
+type modelResponse struct {
+	K          int        `json:"k"`
+	Dim        int        `json:"dim"`
+	Generation int64      `json:"generation"`
+	Counts     []int64    `json:"counts,omitempty"`
+	Radii      []float64  `json:"radii,omitempty"`
+	Meta       model.Meta `json:"meta"`
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	a := s.active.Load()
+	writeJSON(w, http.StatusOK, modelResponse{
+		K: a.m.K, Dim: a.m.Dim, Generation: a.gen,
+		Counts: a.m.Counts, Radii: a.m.Radii, Meta: a.m.Meta,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.loader == nil {
+		httpError(w, http.StatusConflict, "no snapshot source configured for reload")
+		return
+	}
+	if err := s.Reload(); err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	a := s.active.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "reloaded", "k": a.m.K, "generation": a.gen,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	a := s.active.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "k": a.m.K, "dim": a.m.Dim, "generation": a.gen,
+	})
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, defaultMaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "bad request body: trailing data after JSON value")
+		return false
+	}
+	return true
+}
+
+// writeJSON encodes before touching the response so an encoding failure
+// can still surface as a 500 instead of a 200 with an empty body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"internal: response encoding failed"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
