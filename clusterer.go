@@ -1,0 +1,656 @@
+package gmeansmr
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"gmeansmr/internal/core"
+	"gmeansmr/internal/criteria"
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/lloyd"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/seqgmeans"
+	"gmeansmr/internal/vec"
+	"gmeansmr/internal/xmeans"
+)
+
+// Algorithm selects which k-discovery algorithm a Clusterer runs. All four
+// produce the same Result shape, so the paper's contenders can be swapped
+// behind one call site.
+type Algorithm string
+
+// Selectable algorithms.
+const (
+	// AlgorithmGMeansMR is the paper's contribution: G-means on MapReduce,
+	// cost ∝ n·k. The default.
+	AlgorithmGMeansMR Algorithm = "gmeans-mr"
+	// AlgorithmSeqGMeans is the original in-memory G-means of Hamerly &
+	// Elkan — the algorithm the paper adapted.
+	AlgorithmSeqGMeans Algorithm = "seq-gmeans"
+	// AlgorithmXMeans is X-means (Pelleg & Moore), the BIC-driven
+	// k-estimator from the paper's related work. In-memory.
+	AlgorithmXMeans Algorithm = "xmeans"
+	// AlgorithmMultiK is the paper's baseline: multi-k-means over a range
+	// of candidate k (cost ∝ n·k²) followed by a selection criterion.
+	AlgorithmMultiK Algorithm = "multik"
+)
+
+// Criterion selects how AlgorithmMultiK picks k from the per-candidate
+// quality curve.
+type Criterion string
+
+// Selection criteria for AlgorithmMultiK.
+const (
+	// CriterionElbow picks the knee of the WCSS curve. The default; the
+	// only criterion that needs no point-level pass.
+	CriterionElbow Criterion = "elbow"
+	// CriterionJump applies the jump method (transformed distortion).
+	CriterionJump Criterion = "jump"
+	// CriterionSilhouette maximizes the sampled average silhouette.
+	CriterionSilhouette Criterion = "silhouette"
+	// CriterionBIC maximizes the Bayesian Information Criterion.
+	CriterionBIC Criterion = "bic"
+)
+
+// Progress is one observability event of a running Clusterer. MR G-means
+// emits one per G-means round; the other algorithms emit per round,
+// iteration or cluster test. Events are delivered synchronously on the
+// driver goroutine — a slow callback slows the run.
+type Progress struct {
+	// Algorithm identifies the emitting run.
+	Algorithm Algorithm
+	// Round is the 1-based round / iteration / test number.
+	Round int
+	// K is the number of centers discovered (or currently held) so far.
+	// Multi-k-means maintains every candidate k at once and reports zero.
+	K int
+	// Active is the number of clusters still under test (MR and sequential
+	// G-means; zero elsewhere).
+	Active int
+	// Strategy names the phase: the normality-test job for MR G-means
+	// (TestClusters / TestFewClusters), the algorithm name otherwise.
+	Strategy string
+	// Counters snapshots the engine's cumulative cost accounting at event
+	// time (MR algorithms only; nil elsewhere).
+	Counters map[string]int64
+	// Duration is the wall time of the round, when the algorithm tracks it.
+	Duration time.Duration
+}
+
+// Result.Counters keys for the cost quantities of the paper's model.
+// Further engine counters (combine/reduce records, heap peaks, ...) appear
+// under their internal names; these four are the ones callers typically
+// read.
+const (
+	// CounterDatasetReads records whole-dataset scan passes — the paper's
+	// dominant I/O cost unit (O(log₂ k) reads for MR G-means vs one per
+	// iteration for multi-k-means).
+	CounterDatasetReads = "dfs.dataset.reads"
+	// CounterDistances counts point-to-center distance computations, the
+	// unit of the paper's computation-cost model.
+	CounterDistances = kmeansmr.CounterDistances
+	// CounterADTests counts Anderson–Darling test executions.
+	CounterADTests = core.CounterADTests
+	// CounterShuffleBytes measures the MapReduce shuffle volume in bytes.
+	CounterShuffleBytes = mr.CounterShuffleBytes
+)
+
+// config is the resolved option set of a Clusterer.
+type config struct {
+	algorithm   Algorithm
+	nodes       int
+	alpha       float64
+	maxK        int
+	maxIter     int
+	mergeRadius float64
+	seed        int64
+	useKDTree   bool
+	splitSize   int
+	strategy    core.TestStrategy
+	kMin        int
+	kMax        int
+	kStep       int
+	multiIters  int
+	criterion   Criterion
+	progress    func(Progress)
+
+	err error // first option error, surfaced by New
+}
+
+// Option configures a Clusterer. Options validate eagerly where possible;
+// an invalid value surfaces as an error from New.
+type Option func(*config)
+
+// WithAlgorithm selects the clustering algorithm (default AlgorithmGMeansMR).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) {
+		switch a {
+		case AlgorithmGMeansMR, AlgorithmSeqGMeans, AlgorithmXMeans, AlgorithmMultiK:
+			c.algorithm = a
+		default:
+			c.setErr(fmt.Errorf("gmeansmr: unknown algorithm %q", a))
+		}
+	}
+}
+
+// WithNodes sets the simulated MapReduce cluster size (default 4, the
+// paper's testbed). Ignored by the in-memory algorithms.
+func WithNodes(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			c.setErr(fmt.Errorf("gmeansmr: nodes must be positive, got %d", n))
+			return
+		}
+		c.nodes = n
+	}
+}
+
+// WithAlpha sets the Anderson–Darling significance level used by both
+// G-means variants (default 0.0001, the strict level of the original
+// G-means paper).
+func WithAlpha(a float64) Option {
+	return func(c *config) {
+		if a < 0 || a >= 1 || math.IsNaN(a) {
+			c.setErr(fmt.Errorf("gmeansmr: alpha must be in [0,1), got %g", a))
+			return
+		}
+		c.alpha = a
+	}
+}
+
+// WithMaxK stops splitting once this many centers exist.
+func WithMaxK(k int) Option {
+	return func(c *config) {
+		if k < 0 {
+			c.setErr(fmt.Errorf("gmeansmr: MaxK must be non-negative, got %d", k))
+			return
+		}
+		c.maxK = k
+	}
+}
+
+// WithMaxIterations caps the driver rounds of the iterative algorithms.
+func WithMaxIterations(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.setErr(fmt.Errorf("gmeansmr: MaxIterations must be non-negative, got %d", n))
+			return
+		}
+		c.maxIter = n
+	}
+}
+
+// WithMergeRadius enables the post-processing merge of final centers
+// closer than r — the paper's proposed remedy for over-estimated k. Pass
+// MergeAuto to derive the radius from the discovered centers. Negative
+// values other than MergeAuto are rejected.
+func WithMergeRadius(r float64) Option {
+	return func(c *config) {
+		if err := validateMergeRadius(r); err != nil {
+			c.setErr(err)
+			return
+		}
+		c.mergeRadius = r
+	}
+}
+
+// WithSeed makes the run deterministic.
+func WithSeed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// WithKDTree accelerates the MR mappers' nearest-center queries with a
+// k-d tree over the center set. Results are identical; only the distance
+// count drops.
+func WithKDTree() Option { return func(c *config) { c.useKDTree = true } }
+
+// WithSplitSize pins the simulated DFS split size in bytes. Zero (the
+// default) right-sizes splits from the staged dataset so every map slot
+// gets a few tasks.
+func WithSplitSize(bytes int) Option {
+	return func(c *config) {
+		if bytes < 0 {
+			c.setErr(fmt.Errorf("gmeansmr: split size must be non-negative, got %d", bytes))
+			return
+		}
+		c.splitSize = bytes
+	}
+}
+
+// WithTestStrategy pins the MR G-means normality-test strategy
+// ("TestClusters" or "TestFewClusters") instead of the paper's hybrid
+// switch rule.
+func WithTestStrategy(s string) Option {
+	return func(c *config) {
+		switch core.TestStrategy(s) {
+		case "", core.StrategyReducer, core.StrategyFewClusters:
+			c.strategy = core.TestStrategy(s)
+		default:
+			c.setErr(fmt.Errorf("gmeansmr: unknown test strategy %q", s))
+		}
+	}
+}
+
+// WithKRange sets the candidate k range of AlgorithmMultiK (default
+// 1..16 step 1).
+func WithKRange(min, max, step int) Option {
+	return func(c *config) {
+		if min < 1 || max < min || step < 1 {
+			c.setErr(fmt.Errorf("gmeansmr: invalid k range [%d,%d] step %d", min, max, step))
+			return
+		}
+		c.kMin, c.kMax, c.kStep = min, max, step
+	}
+}
+
+// WithMultiKIterations sets the number of chained k-means jobs
+// AlgorithmMultiK runs (default 10, as in the paper).
+func WithMultiKIterations(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.setErr(fmt.Errorf("gmeansmr: multi-k iterations must be positive, got %d", n))
+			return
+		}
+		c.multiIters = n
+	}
+}
+
+// WithCriterion selects how AlgorithmMultiK picks k (default
+// CriterionElbow). Criteria other than elbow need point-level access and
+// materialize the staged dataset once.
+func WithCriterion(cr Criterion) Option {
+	return func(c *config) {
+		switch cr {
+		case CriterionElbow, CriterionJump, CriterionSilhouette, CriterionBIC:
+			c.criterion = cr
+		default:
+			c.setErr(fmt.Errorf("gmeansmr: unknown criterion %q", cr))
+		}
+	}
+}
+
+// WithProgress registers an observer for per-round Progress events.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+func (c *config) setErr(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func validateMergeRadius(r float64) error {
+	if math.IsNaN(r) || (r < 0 && r != MergeAuto) {
+		return fmt.Errorf("gmeansmr: merge radius must be non-negative or MergeAuto, got %g", r)
+	}
+	return nil
+}
+
+// emit delivers a progress event to the configured observer, stamping the
+// algorithm.
+func (c *config) emit(ev Progress) {
+	if c.progress == nil {
+		return
+	}
+	ev.Algorithm = c.algorithm
+	c.progress(ev)
+}
+
+// Clusterer is the long-running training engine of the package: construct
+// one with New, then Run it against a DataSource under a context. A
+// Clusterer is immutable and safe to reuse across runs.
+type Clusterer struct {
+	cfg config
+}
+
+// New builds a Clusterer from functional options, validating them. The
+// zero-option Clusterer runs MR G-means with the paper's configuration:
+// α=0.0001 Anderson–Darling, two k-means passes per round, a 4-node
+// simulated cluster.
+func New(opts ...Option) (*Clusterer, error) {
+	cfg := config{
+		algorithm: AlgorithmGMeansMR,
+		criterion: CriterionElbow,
+		kMin:      1,
+		kMax:      16,
+		kStep:     1,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	return &Clusterer{cfg: cfg}, nil
+}
+
+// Run executes the configured algorithm over the points of src. The
+// context cancels or deadlines the run: MR algorithms abort within one
+// MapReduce wave, in-memory algorithms between rounds, both returning an
+// error wrapping ctx.Err().
+//
+// Result.Assignment is populated when the points are available in memory
+// (FromPoints sources, and the in-memory algorithms which materialize
+// their input); it is nil when an MR algorithm ran over a streaming
+// source, because computing it would require a second pass.
+func (c *Clusterer) Run(ctx context.Context, src DataSource) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("gmeansmr: nil DataSource")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch c.cfg.algorithm {
+	case AlgorithmSeqGMeans:
+		return c.runSeqGMeans(ctx, src)
+	case AlgorithmXMeans:
+		return c.runXMeans(ctx, src)
+	case AlgorithmMultiK:
+		return c.runMultiK(ctx, src)
+	default:
+		return c.runGMeansMR(ctx, src)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Staging: DataSource → simulated DFS
+// ---------------------------------------------------------------------------
+
+// staged is a dataset loaded into the simulated DFS, ready for MapReduce.
+type staged struct {
+	env kmeansmr.Env
+	n   int
+}
+
+const stagedPath = "/data/points.txt"
+
+// stage streams src into a fresh simulated DFS — validating dimensionality
+// and finiteness point by point, never materializing the dataset — and
+// right-sizes the splits so every map slot gets a few tasks.
+func (c *Clusterer) stage(ctx context.Context, src DataSource) (*staged, error) {
+	cluster := mr.DefaultCluster()
+	if c.cfg.nodes > 0 {
+		cluster = cluster.WithNodes(c.cfg.nodes)
+	}
+	fs := dfs.New(c.cfg.splitSize)
+	rd, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+
+	w := fs.Writer(stagedPath)
+	n, dim := 0, 0
+	for {
+		if n%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		p, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := checkPoint(p, n, &dim); err != nil {
+			return nil, err
+		}
+		w.WriteString(dataset.FormatPoint(p))
+		w.WriteString("\n")
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("gmeansmr: no points")
+	}
+	w.Close()
+
+	if c.cfg.splitSize == 0 {
+		total, err := fs.Size(stagedPath)
+		if err != nil {
+			return nil, err
+		}
+		split := int(total) / (cluster.MapCapacity() * 4)
+		if split < 4<<10 {
+			split = 4 << 10
+		}
+		fs.SetSplitSize(split)
+	}
+	env := kmeansmr.Env{
+		FS: fs, Cluster: cluster, Input: stagedPath,
+		Dim: dim, UseKDTree: c.cfg.useKDTree, Ctx: ctx,
+	}
+	return &staged{env: env, n: n}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm backends
+// ---------------------------------------------------------------------------
+
+func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource) (*Result, error) {
+	st, err := c.stage(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Env:           st.env,
+		Alpha:         c.cfg.alpha,
+		MaxK:          c.cfg.maxK,
+		MaxIterations: c.cfg.maxIter,
+		ForceStrategy: c.cfg.strategy,
+		Seed:          c.cfg.seed,
+	}
+	if c.cfg.mergeRadius > 0 {
+		cfg.MergeRadius = c.cfg.mergeRadius
+	}
+	if c.cfg.progress != nil {
+		cfg.Progress = func(it core.IterationStats, counters map[string]int64) {
+			c.cfg.emit(Progress{
+				Round:    it.Iteration,
+				K:        it.FoundAfter,
+				Active:   it.ActiveBefore,
+				Strategy: string(it.Strategy),
+				Counters: counters,
+				Duration: it.Duration,
+			})
+		}
+	}
+	res, err := core.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	centers := res.Centers
+	if c.cfg.mergeRadius == MergeAuto {
+		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
+	}
+	counters := res.Counters.Snapshot()
+	counters[CounterDatasetReads] = st.env.FS.DatasetReads()
+	return &Result{
+		Algorithm:  AlgorithmGMeansMR,
+		Centers:    centers,
+		K:          len(centers),
+		Iterations: res.Iterations,
+		Assignment: assignIfAvailable(src, centers),
+		Counters:   counters,
+	}, nil
+}
+
+func (c *Clusterer) runMultiK(ctx context.Context, src DataSource) (*Result, error) {
+	st, err := c.stage(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := kmeansmr.MultiConfig{
+		Env:        st.env,
+		KMin:       c.cfg.kMin,
+		KMax:       c.cfg.kMax,
+		KStep:      c.cfg.kStep,
+		Iterations: c.cfg.multiIters,
+		// k-means++ over an oversampled pool: the paper's random seeding is
+		// cheaper but yields candidate clusterings poor enough to mislead
+		// the k-selection criteria; the production facade pays for quality.
+		Seeding: kmeansmr.MultiSeedPlusPlus,
+		Seed:    c.cfg.seed,
+	}
+	if c.cfg.progress != nil {
+		mcfg.Progress = func(iter int, d time.Duration) {
+			c.cfg.emit(Progress{Round: iter, Strategy: "multi-k-means", Duration: d})
+		}
+	}
+	mres, err := kmeansmr.RunMulti(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := kmeansmr.Evaluate(mcfg, mres); err != nil {
+		return nil, err
+	}
+	var cs []criteria.Clustering
+	for k := c.cfg.kMin; k <= c.cfg.kMax; k += c.cfg.kStep {
+		cs = append(cs, criteria.Clustering{K: k, Centers: mres.CentersByK[k], WCSS: mres.WCSSByK[k]})
+	}
+	chosen, err := c.selectK(st.env, cs)
+	if err != nil {
+		return nil, err
+	}
+	counters := mres.Counters.Snapshot()
+	counters[CounterDatasetReads] = st.env.FS.DatasetReads()
+	centers := mres.CentersByK[chosen]
+	return &Result{
+		Algorithm:  AlgorithmMultiK,
+		Centers:    centers,
+		K:          chosen,
+		Iterations: len(mres.IterationTimes),
+		Assignment: assignIfAvailable(src, centers),
+		Counters:   counters,
+		WCSS:       mres.WCSSByK[chosen],
+		WCSSByK:    mres.WCSSByK,
+	}, nil
+}
+
+// selectK applies the configured criterion to the candidate clusterings.
+// Criteria beyond elbow need the points and read them back from the staged
+// DFS file (one extra dataset read, materialized in memory).
+func (c *Clusterer) selectK(env kmeansmr.Env, cs []criteria.Clustering) (int, error) {
+	if c.cfg.criterion == CriterionElbow {
+		return criteria.ElbowK(cs)
+	}
+	points, err := dataset.LoadPoints(env.FS, env.Input)
+	if err != nil {
+		return 0, err
+	}
+	for i := range cs {
+		cs[i].Assignment = lloyd.Assign(points, cs[i].Centers)
+	}
+	switch c.cfg.criterion {
+	case CriterionJump:
+		return criteria.JumpK(points, cs)
+	case CriterionSilhouette:
+		return criteria.SilhouetteK(points, cs, 2000, c.cfg.seed)
+	default:
+		return criteria.BICK(points, cs)
+	}
+}
+
+func (c *Clusterer) runSeqGMeans(ctx context.Context, src DataSource) (*Result, error) {
+	points, err := Materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	scfg := seqgmeans.Config{
+		Alpha: c.cfg.alpha,
+		MaxK:  c.cfg.maxK,
+		Seed:  c.cfg.seed,
+	}
+	if c.cfg.progress != nil {
+		// The backend reports tests-so-far, which starts at zero and can
+		// repeat when a cluster is finalized untested; number the events
+		// ourselves to honor the 1-based, unique Round contract.
+		round := 0
+		scfg.Progress = func(found, pending, tests, splits int) {
+			round++
+			c.cfg.emit(Progress{Round: round, K: found, Active: pending, Strategy: string(AlgorithmSeqGMeans)})
+		}
+	}
+	res, err := seqgmeans.RunContext(ctx, points, scfg)
+	if err != nil {
+		return nil, err
+	}
+	centers := res.Centers
+	if c.cfg.mergeRadius == MergeAuto {
+		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
+	} else if c.cfg.mergeRadius > 0 {
+		centers = core.MergeCloseCenters(centers, c.cfg.mergeRadius)
+	}
+	assignment := res.Assignment
+	if len(centers) != res.K {
+		assignment = lloyd.Assign(points, centers)
+	}
+	return &Result{
+		Algorithm:  AlgorithmSeqGMeans,
+		Centers:    centers,
+		K:          len(centers),
+		Iterations: res.Tests,
+		Assignment: assignment,
+		Counters:   map[string]int64{CounterADTests: int64(res.Tests), "app.splits": int64(res.Splits)},
+		WCSS:       res.WCSS,
+	}, nil
+}
+
+func (c *Clusterer) runXMeans(ctx context.Context, src DataSource) (*Result, error) {
+	points, err := Materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	xcfg := xmeans.Config{
+		KMax: c.cfg.maxK,
+		Seed: c.cfg.seed,
+	}
+	if c.cfg.progress != nil {
+		xcfg.Progress = func(round, k int) {
+			c.cfg.emit(Progress{Round: round, K: k, Strategy: string(AlgorithmXMeans)})
+		}
+	}
+	res, err := xmeans.RunContext(ctx, points, xcfg)
+	if err != nil {
+		return nil, err
+	}
+	centers := res.Centers
+	if c.cfg.mergeRadius == MergeAuto {
+		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
+	} else if c.cfg.mergeRadius > 0 {
+		centers = core.MergeCloseCenters(centers, c.cfg.mergeRadius)
+	}
+	assignment := res.Assignment
+	if len(centers) != res.K {
+		assignment = lloyd.Assign(points, centers)
+	}
+	return &Result{
+		Algorithm:  AlgorithmXMeans,
+		Centers:    centers,
+		K:          len(centers),
+		Iterations: res.Rounds,
+		Assignment: assignment,
+		Counters:   map[string]int64{"app.structure.rounds": int64(res.Rounds)},
+		WCSS:       res.WCSS,
+	}, nil
+}
+
+// assignIfAvailable computes the nearest-center assignment when the
+// source's points are in memory; streaming sources return nil.
+func assignIfAvailable(src DataSource, centers []Point) []int {
+	mem, ok := src.(pointsProvider)
+	if !ok {
+		return nil
+	}
+	pts := mem.points()
+	assign := make([]int, len(pts))
+	for i, p := range pts {
+		assign[i], _ = vec.NearestIndex(p, centers)
+	}
+	return assign
+}

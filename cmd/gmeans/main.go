@@ -1,25 +1,27 @@
-// Command gmeans runs MapReduce G-means over a text dataset (one point per
-// line) and prints the discovered centers along with the engine's cost
-// accounting: iterations, dataset reads, distance computations, shuffle
-// volume, and per-iteration strategy decisions.
+// Command gmeans clusters a text dataset (one point per line, CSV/TSV or
+// space-separated) and determines k, printing the discovered centers along
+// with the engine's cost accounting. The algorithm is selectable: the
+// paper's MR G-means (default), the original sequential G-means, X-means,
+// or the multi-k-means baseline.
 //
 // Usage:
 //
 //	datagen -k 100 -dim 10 -n 100000 -sep 8 -o d100.txt
-//	gmeans -dim 10 -nodes 4 d100.txt
+//	gmeans -nodes 4 -v d100.txt
+//	gmeans -algo seq-gmeans d100.txt
+//	gmeans -timeout 30s d100.txt   # bound the run; cancels between MR waves
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
-	"gmeansmr/internal/core"
+	gmeansmr "gmeansmr"
 	"gmeansmr/internal/dataset"
-	"gmeansmr/internal/dfs"
-	"gmeansmr/internal/kmeansmr"
-	"gmeansmr/internal/mr"
 )
 
 func main() {
@@ -27,68 +29,96 @@ func main() {
 	log.SetPrefix("gmeans: ")
 
 	var (
-		dim      = flag.Int("dim", 0, "dimensionality of the points (required)")
-		nodes    = flag.Int("nodes", 4, "simulated cluster nodes")
+		algo     = flag.String("algo", "gmeans-mr", "algorithm: gmeans-mr, seq-gmeans, xmeans, multik")
+		nodes    = flag.Int("nodes", 4, "simulated cluster nodes (MR algorithms)")
 		alpha    = flag.Float64("alpha", 0.0001, "Anderson-Darling significance level")
 		maxK     = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
 		maxIter  = flag.Int("maxiter", 30, "maximum G-means rounds")
 		merge    = flag.Float64("merge", 0, "post-processing merge radius (0 = off, -1 = auto)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		split    = flag.Int("split", 1<<20, "simulated DFS split size in bytes")
+		split    = flag.Int("split", 1<<20, "simulated DFS split size in bytes (0 = auto)")
 		centers  = flag.String("centers", "", "optional file receiving the final centers")
-		verbose  = flag.Bool("v", false, "print per-iteration details")
+		verbose  = flag.Bool("v", false, "stream per-round progress")
 		strategy = flag.String("strategy", "", "pin the test strategy: TestClusters or TestFewClusters")
 		useTree  = flag.Bool("kdtree", false, "accelerate nearest-center queries with a k-d tree")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || *dim <= 0 {
-		fmt.Fprintln(os.Stderr, "usage: gmeans -dim D [flags] <dataset.txt>")
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gmeans [flags] <dataset.txt>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	fs := dfs.New(*split)
-	if err := fs.ImportLocal(flag.Arg(0), "/data/points.txt"); err != nil {
-		log.Fatal(err)
+	opts := []gmeansmr.Option{
+		gmeansmr.WithAlgorithm(gmeansmr.Algorithm(*algo)),
+		gmeansmr.WithNodes(*nodes),
+		gmeansmr.WithSeed(*seed),
+		gmeansmr.WithSplitSize(*split),
 	}
-	cluster := mr.DefaultCluster().WithNodes(*nodes)
-	cfg := core.Config{
-		Env: kmeansmr.Env{FS: fs, Cluster: cluster, Input: "/data/points.txt",
-			Dim: *dim, UseKDTree: *useTree},
-		Alpha:         *alpha,
-		MaxK:          *maxK,
-		MaxIterations: *maxIter,
-		Seed:          *seed,
-		ForceStrategy: core.TestStrategy(*strategy),
+	if *alpha > 0 {
+		opts = append(opts, gmeansmr.WithAlpha(*alpha))
 	}
-	if *merge > 0 {
-		cfg.MergeRadius = *merge
+	if *maxK > 0 {
+		opts = append(opts, gmeansmr.WithMaxK(*maxK))
 	}
-	res, err := core.Run(cfg)
+	if *maxIter > 0 {
+		opts = append(opts, gmeansmr.WithMaxIterations(*maxIter))
+	}
+	if *merge != 0 {
+		r := *merge
+		if r < 0 {
+			r = gmeansmr.MergeAuto
+		}
+		opts = append(opts, gmeansmr.WithMergeRadius(r))
+	}
+	if *strategy != "" {
+		opts = append(opts, gmeansmr.WithTestStrategy(*strategy))
+	}
+	if *useTree {
+		opts = append(opts, gmeansmr.WithKDTree())
+	}
+	if *verbose {
+		opts = append(opts, gmeansmr.WithProgress(func(p gmeansmr.Progress) {
+			fmt.Printf("  round %2d  strategy=%-16s k=%-4d active=%-4d  %s\n",
+				p.Round, p.Strategy, p.K, p.Active, p.Duration.Round(time.Millisecond))
+		}))
+	}
+
+	c, err := gmeansmr.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *merge < 0 {
-		res.Centers = core.MergeCloseCenters(res.Centers, core.SuggestMergeRadius(res.Centers))
-		res.K = len(res.Centers)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	fmt.Printf("discovered k = %d (before merge: %d)\n", res.K, res.KBeforeMerge)
-	fmt.Printf("iterations   = %d\n", res.Iterations)
-	fmt.Printf("wall time    = %s\n", res.Duration.Round(1e6))
-	fmt.Printf("dataset reads= %d\n", fs.DatasetReads())
-	fmt.Printf("distances    = %d\n", res.Counters.Get(kmeansmr.CounterDistances))
-	fmt.Printf("AD tests     = %d\n", res.Counters.Get(core.CounterADTests))
-	fmt.Printf("shuffle bytes= %d\n", res.Counters.Get(mr.CounterShuffleBytes))
+	start := time.Now()
+	res, err := c.Run(ctx, gmeansmr.FromFile(flag.Arg(0)))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	if *verbose {
-		fmt.Println("\nper-iteration:")
-		for _, it := range res.PerIteration {
-			fmt.Printf("  round %2d  strategy=%-16s tested=%-4d split=%-4d found=%-4d maxcluster=%-8d heapest=%dB  %s\n",
-				it.Iteration, it.Strategy, it.ActiveBefore, it.SplitCount,
-				it.FoundAfter, it.MaxClusterSize, it.EstimatedHeap, it.Duration.Round(1e6))
+	fmt.Printf("algorithm    = %s\n", res.Algorithm)
+	fmt.Printf("discovered k = %d\n", res.K)
+	fmt.Printf("iterations   = %d\n", res.Iterations)
+	fmt.Printf("wall time    = %s\n", time.Since(start).Round(time.Millisecond))
+	// Only print the cost counters the algorithm actually measured — the
+	// in-memory baselines have no DFS or shuffle to account for.
+	printCounter := func(label, key string) {
+		if v, ok := res.Counters[key]; ok {
+			fmt.Printf("%-13s= %d\n", label, v)
 		}
 	}
+	printCounter("dataset reads", gmeansmr.CounterDatasetReads)
+	printCounter("distances", gmeansmr.CounterDistances)
+	printCounter("AD tests", gmeansmr.CounterADTests)
+	printCounter("shuffle bytes", gmeansmr.CounterShuffleBytes)
+
 	if *centers != "" {
 		f, err := os.Create(*centers)
 		if err != nil {

@@ -1,26 +1,25 @@
 // Command multikmeans runs the paper's baseline: multi-k-means, which
 // maintains center sets for every candidate k in one chained MapReduce
 // pipeline, then scores each k and picks the best by a selectable
-// criterion (elbow, jump, or BIC over the per-k WCSS curve).
+// criterion (elbow, jump, silhouette, or BIC over the per-k WCSS curve).
 //
 // Usage:
 //
 //	datagen -k 10 -dim 2 -n 10000 -sep 15 -o data.txt
-//	multikmeans -dim 2 -kmax 20 -criterion elbow data.txt
+//	multikmeans -kmax 20 -criterion elbow data.txt
+//	multikmeans -kmax 20 -timeout 1m data.txt   # bound the pipeline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"time"
 
-	"gmeansmr/internal/criteria"
-	"gmeansmr/internal/dataset"
-	"gmeansmr/internal/dfs"
-	"gmeansmr/internal/kmeansmr"
-	"gmeansmr/internal/lloyd"
-	"gmeansmr/internal/mr"
+	gmeansmr "gmeansmr"
 )
 
 func main() {
@@ -28,84 +27,72 @@ func main() {
 	log.SetPrefix("multikmeans: ")
 
 	var (
-		dim       = flag.Int("dim", 0, "dimensionality of the points (required)")
 		kmin      = flag.Int("kmin", 1, "smallest candidate k")
 		kmax      = flag.Int("kmax", 16, "largest candidate k")
 		kstep     = flag.Int("kstep", 1, "candidate step")
 		iters     = flag.Int("iters", 10, "k-means iterations")
 		nodes     = flag.Int("nodes", 4, "simulated cluster nodes")
 		seed      = flag.Int64("seed", 1, "random seed")
-		split     = flag.Int("split", 1<<20, "simulated DFS split size in bytes")
+		split     = flag.Int("split", 1<<20, "simulated DFS split size in bytes (0 = auto)")
 		criterion = flag.String("criterion", "elbow", "k-selection criterion: elbow, jump, silhouette, bic")
+		timeout   = flag.Duration("timeout", 0, "abort the pipeline after this long (0 = no limit)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 || *dim <= 0 {
-		fmt.Fprintln(os.Stderr, "usage: multikmeans -dim D [flags] <dataset.txt>")
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: multikmeans [flags] <dataset.txt>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	fs := dfs.New(*split)
-	if err := fs.ImportLocal(flag.Arg(0), "/data/points.txt"); err != nil {
-		log.Fatal(err)
-	}
-	env := kmeansmr.Env{
-		FS: fs, Cluster: mr.DefaultCluster().WithNodes(*nodes),
-		Input: "/data/points.txt", Dim: *dim,
-	}
-	cfg := kmeansmr.MultiConfig{
-		Env: env, KMin: *kmin, KMax: *kmax, KStep: *kstep,
-		Iterations: *iters, Seed: *seed,
-	}
-	res, err := kmeansmr.RunMulti(cfg)
+	var iterTimes []time.Duration
+	c, err := gmeansmr.New(
+		gmeansmr.WithAlgorithm(gmeansmr.AlgorithmMultiK),
+		gmeansmr.WithKRange(*kmin, *kmax, *kstep),
+		gmeansmr.WithMultiKIterations(*iters),
+		gmeansmr.WithCriterion(gmeansmr.Criterion(*criterion)),
+		gmeansmr.WithNodes(*nodes),
+		gmeansmr.WithSeed(*seed),
+		gmeansmr.WithSplitSize(*split),
+		gmeansmr.WithProgress(func(p gmeansmr.Progress) {
+			iterTimes = append(iterTimes, p.Duration)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := kmeansmr.Evaluate(cfg, res); err != nil {
-		log.Fatal(err)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	fmt.Printf("%-6s %-14s %-12s\n", "k", "WCSS", "avg distance")
-	var cs []criteria.Clustering
-	for k := *kmin; k <= *kmax; k += *kstep {
-		fmt.Printf("%-6d %-14.3f %-12.4f\n", k, res.WCSSByK[k], res.AvgDistByK[k])
-		cs = append(cs, criteria.Clustering{K: k, Centers: res.CentersByK[k], WCSS: res.WCSSByK[k]})
-	}
-
-	// Criteria needing point-level access (silhouette) load the dataset.
-	chosen, err := selectK(*criterion, fs, cs, *seed)
+	res, err := c.Run(ctx, gmeansmr.FromFile(flag.Arg(0)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nselected k = %d (criterion: %s)\n", chosen, *criterion)
-	fmt.Printf("avg iteration time = %s over %d iterations\n",
-		res.AvgIterationTime().Round(1e6), len(res.IterationTimes))
+
+	ks := make([]int, 0, len(res.WCSSByK))
+	for k := range res.WCSSByK {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	fmt.Printf("%-6s %-14s\n", "k", "WCSS")
+	for _, k := range ks {
+		fmt.Printf("%-6d %-14.3f\n", k, res.WCSSByK[k])
+	}
+
+	fmt.Printf("\nselected k = %d (criterion: %s)\n", res.K, *criterion)
+	if len(iterTimes) > 0 {
+		var total time.Duration
+		for _, d := range iterTimes {
+			total += d
+		}
+		fmt.Printf("avg iteration time = %s over %d iterations\n",
+			(total / time.Duration(len(iterTimes))).Round(time.Millisecond), len(iterTimes))
+	}
 	fmt.Printf("distances = %d, dataset reads = %d\n",
-		res.Counters.Get(kmeansmr.CounterDistances), fs.DatasetReads())
-}
-
-func selectK(criterion string, fs *dfs.FS, cs []criteria.Clustering, seed int64) (int, error) {
-	switch criterion {
-	case "elbow":
-		return criteria.ElbowK(cs)
-	case "jump", "silhouette", "bic":
-		points, err := dataset.LoadPoints(fs, "/data/points.txt")
-		if err != nil {
-			return 0, err
-		}
-		// Criteria needing assignments compute them against each center set.
-		for i := range cs {
-			cs[i].Assignment = lloyd.Assign(points, cs[i].Centers)
-		}
-		switch criterion {
-		case "jump":
-			return criteria.JumpK(points, cs)
-		case "silhouette":
-			return criteria.SilhouetteK(points, cs, 2000, seed)
-		default:
-			return criteria.BICK(points, cs)
-		}
-	default:
-		return 0, fmt.Errorf("unknown criterion %q", criterion)
-	}
+		res.Counters[gmeansmr.CounterDistances],
+		res.Counters[gmeansmr.CounterDatasetReads])
 }

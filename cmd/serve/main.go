@@ -6,9 +6,11 @@
 //
 //	serve -model model.gmm -addr :8080
 //
-// Train on a dataset file (one point per line), save the snapshot, serve:
+// Train on a dataset file (CSV/TSV or space-separated, one point per
+// line; dimensionality is inferred), save the snapshot, serve:
 //
-//	serve -data points.txt -dim 10 -save model.gmm -addr :8080
+//	serve -data points.txt -save model.gmm -addr :8080
+//	serve -data points.txt -timeout 5m -save model.gmm
 //
 // Train on a synthetic mixture and serve (demo mode):
 //
@@ -23,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,7 +34,6 @@ import (
 	"time"
 
 	gmeansmr "gmeansmr"
-	"gmeansmr/internal/dataset"
 )
 
 func main() {
@@ -41,8 +43,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		modelPath = flag.String("model", "", "load this model snapshot and serve it")
-		dataPath  = flag.String("data", "", "train on this text dataset (one point per line)")
-		dim       = flag.Int("dim", 0, "dimensionality of -data points (required with -data)")
+		dataPath  = flag.String("data", "", "train on this text dataset (CSV/TSV or space-separated, one point per line)")
+		dim       = flag.Int("dim", 0, "synthetic mixture dimensionality (-data infers it from the file)")
 		train     = flag.Bool("train", false, "train on a synthetic mixture")
 		k         = flag.Int("k", 8, "synthetic mixture: true cluster count")
 		n         = flag.Int("n", 20_000, "synthetic mixture: point count")
@@ -51,11 +53,12 @@ func main() {
 		alpha     = flag.Float64("alpha", 0, "Anderson-Darling significance level (0 = paper default)")
 		maxK      = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
 		savePath  = flag.String("save", "", "write the trained model snapshot here")
+		timeout   = flag.Duration("timeout", 0, "abort training after this long (0 = no limit)")
 	)
 	flag.Parse()
 
 	m, reloadPath, err := obtainModel(*modelPath, *dataPath, *dim, *train,
-		*k, *n, *sep, *seed, *alpha, *maxK, *savePath)
+		*k, *n, *sep, *seed, *alpha, *maxK, *savePath, *timeout)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func main() {
 // returns the model plus the snapshot path reloads should re-read.
 func obtainModel(modelPath, dataPath string, dim int, train bool,
 	k, n int, sep float64, seed int64, alpha float64, maxK int,
-	savePath string) (*gmeansmr.Model, string, error) {
+	savePath string, timeout time.Duration) (*gmeansmr.Model, string, error) {
 
 	switch {
 	case modelPath != "":
@@ -95,14 +98,14 @@ func obtainModel(modelPath, dataPath string, dim int, train bool,
 		return m, modelPath, err
 
 	case dataPath != "":
-		if dim <= 0 {
-			return nil, "", fmt.Errorf("-data requires -dim")
-		}
-		points, err := readPoints(dataPath, dim)
+		// Materialize applies the run's validation (consistent dims, no
+		// NaN/±Inf) and the points are needed afterwards to build the
+		// serving model's per-cluster statistics.
+		points, err := gmeansmr.Materialize(gmeansmr.FromFile(dataPath))
 		if err != nil {
-			return nil, "", err
+			return nil, "", fmt.Errorf("%s: %w", dataPath, err)
 		}
-		m, err := trainModel(points, gmeansmr.Options{Seed: seed, Alpha: alpha, MaxK: maxK}, savePath)
+		m, err := trainModel(points, seed, alpha, maxK, savePath, timeout)
 		return m, savePath, err
 
 	case train:
@@ -115,7 +118,7 @@ func obtainModel(modelPath, dataPath string, dim int, train bool,
 		if err != nil {
 			return nil, "", err
 		}
-		m, err := trainModel(ds.Points, gmeansmr.Options{Seed: seed, Alpha: alpha, MaxK: maxK}, savePath)
+		m, err := trainModel(ds.Points, seed, alpha, maxK, savePath, timeout)
 		return m, savePath, err
 
 	default:
@@ -123,9 +126,28 @@ func obtainModel(modelPath, dataPath string, dim int, train bool,
 	}
 }
 
-func trainModel(points []gmeansmr.Point, opts gmeansmr.Options, savePath string) (*gmeansmr.Model, error) {
+func trainModel(points []gmeansmr.Point, seed int64, alpha float64, maxK int,
+	savePath string, timeout time.Duration) (*gmeansmr.Model, error) {
+
+	opts := []gmeansmr.Option{gmeansmr.WithSeed(seed)}
+	if alpha > 0 {
+		opts = append(opts, gmeansmr.WithAlpha(alpha))
+	}
+	if maxK > 0 {
+		opts = append(opts, gmeansmr.WithMaxK(maxK))
+	}
+	c, err := gmeansmr.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	log.Printf("training on %d points...", len(points))
-	res, err := gmeansmr.Cluster(points, opts)
+	res, err := c.Run(ctx, gmeansmr.FromPoints(points))
 	if err != nil {
 		return nil, err
 	}
@@ -167,30 +189,4 @@ func saveSnapshot(m *gmeansmr.Model, path string) error {
 		return err
 	}
 	return f.Close()
-}
-
-func readPoints(path string, dim int) ([]gmeansmr.Point, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var points []gmeansmr.Point
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		p, err := dataset.ParsePointDim(line, dim)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		points = append(points, p)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return points, nil
 }

@@ -1,14 +1,57 @@
 package gmeansmr_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	gmeansmr "gmeansmr"
 )
 
-// ExampleCluster runs MapReduce G-means over a synthetic mixture whose
-// cluster count is unknown to the algorithm.
+// ExampleClusterer_Run trains on a streamed Gaussian mixture — never
+// materialized in memory — under a cancellable context.
+func ExampleClusterer_Run() {
+	c, err := gmeansmr.New(gmeansmr.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := gmeansmr.FromMixture(gmeansmr.DatasetSpec{
+		K: 3, Dim: 2, N: 3000, MinSeparation: 30, Seed: 1,
+	})
+	res, err := c.Run(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered k = %d\n", res.K)
+	// Output: discovered k = 3
+}
+
+// ExampleNew_algorithms selects a baseline algorithm behind the same
+// Result shape as the paper's MR G-means.
+func ExampleNew_algorithms() {
+	ds, err := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{
+		K: 3, Dim: 2, N: 3000, MinSeparation: 30, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := gmeansmr.New(
+		gmeansmr.WithAlgorithm(gmeansmr.AlgorithmSeqGMeans),
+		gmeansmr.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), gmeansmr.FromPoints(ds.Points))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s discovered k = %d\n", res.Algorithm, res.K)
+	// Output: seq-gmeans discovered k = 3
+}
+
+// ExampleCluster runs MapReduce G-means through the deprecated one-shot
+// facade; new code should use New(...).Run(ctx, src) instead.
 func ExampleCluster() {
 	ds, err := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{
 		K: 3, Dim: 2, N: 3000, MinSeparation: 30, Seed: 1,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -65,7 +66,11 @@ func main() {
 		labels = append(labels, "INJECTED")
 	}
 
-	res, err := gmeansmr.Cluster(points, gmeansmr.Options{Seed: 3, MaxK: 32})
+	clusterer, err := gmeansmr.New(gmeansmr.WithSeed(3), gmeansmr.WithMaxK(32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := clusterer.Run(context.Background(), gmeansmr.FromPoints(points))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -49,7 +50,11 @@ func main() {
 		})
 	}
 
-	res, err := gmeansmr.Cluster(points, gmeansmr.Options{Seed: 4, MergeRadius: gmeansmr.MergeAuto})
+	clusterer, err := gmeansmr.New(gmeansmr.WithSeed(4), gmeansmr.WithMergeRadius(gmeansmr.MergeAuto))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := clusterer.Run(context.Background(), gmeansmr.FromPoints(points))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 // Quickstart: generate a Gaussian mixture with an unknown (to the
 // algorithm) number of clusters, run MapReduce G-means through the public
-// facade, and inspect what it discovered and what it cost.
+// Clusterer API — watching each round as it happens — and inspect what it
+// discovered and what it cost.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +24,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := gmeansmr.Cluster(ds.Points, gmeansmr.Options{Seed: 1})
+	c, err := gmeansmr.New(
+		gmeansmr.WithSeed(1),
+		gmeansmr.WithProgress(func(p gmeansmr.Progress) {
+			fmt.Printf("  round %d: k=%d, %d clusters under test, strategy=%s\n",
+				p.Round, p.K, p.Active, p.Strategy)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), gmeansmr.FromPoints(ds.Points))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,8 +42,10 @@ func main() {
 	fmt.Printf("true k       = %d\n", ds.Spec.K)
 	fmt.Printf("discovered k = %d in %d G-means iterations\n", res.K, res.Iterations)
 	fmt.Printf("distance computations = %d (≈ 8·n·k as the paper predicts)\n",
-		res.Counters["app.distance.computations"])
-	fmt.Printf("anderson-darling tests = %d (≈ 2·k)\n", res.Counters["app.ad.tests"])
+		res.Counters[gmeansmr.CounterDistances])
+	fmt.Printf("anderson-darling tests = %d (≈ 2·k)\n", res.Counters[gmeansmr.CounterADTests])
+	fmt.Printf("dataset reads = %d (O(log₂ k), the paper's I/O cost unit)\n",
+		res.Counters[gmeansmr.CounterDatasetReads])
 
 	// Cluster sizes from the assignment.
 	sizes := make([]int, res.K)

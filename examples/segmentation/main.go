@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,7 +58,11 @@ func main() {
 	}
 
 	// --- G-means: one run, k comes out ---
-	res, err := gmeansmr.Cluster(points, gmeansmr.Options{Seed: 2, MergeRadius: gmeansmr.MergeAuto})
+	clusterer, err := gmeansmr.New(gmeansmr.WithSeed(2), gmeansmr.WithMergeRadius(gmeansmr.MergeAuto))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := clusterer.Run(context.Background(), gmeansmr.FromPoints(points))
 	if err != nil {
 		log.Fatal(err)
 	}

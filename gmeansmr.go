@@ -4,22 +4,34 @@
 // determines the number of clusters k with computation cost proportional
 // to n·k, against the O(n·k²) of running k-means for every candidate k.
 //
-// The package is a facade over the internal building blocks:
-//
-//   - a simulated HDFS + Hadoop-1.x-style MapReduce engine (splits,
-//     combiners, sort shuffle, task heap budgets, counters, node×slot
-//     parallelism);
-//   - the MR G-means driver and its three jobs (KMeans,
-//     KMeansAndFindNewCenters, TestClusters/TestFewClusters);
-//   - the multi-k-means baseline and the classic "pick k" criteria
-//     (elbow, silhouette, Dunn, gap statistic, jump method, BIC/AIC);
-//   - a Gaussian-mixture workload generator.
+// The public API is a context-aware, algorithm-pluggable training engine:
+// build a Clusterer with functional options, then Run it against a
+// DataSource under a context that can cancel or deadline the run.
 //
 // # Quick start
 //
-//	ds, _ := gmeansmr.GenerateDataset(gmeansmr.DatasetSpec{K: 10, Dim: 2, N: 100_000})
-//	res, _ := gmeansmr.Cluster(ds.Points, gmeansmr.Options{})
+//	c, _ := gmeansmr.New(gmeansmr.WithSeed(1))
+//	src := gmeansmr.FromMixture(gmeansmr.DatasetSpec{K: 10, Dim: 2, N: 100_000})
+//	res, _ := c.Run(context.Background(), src)
 //	fmt.Println("discovered k =", res.K)
+//
+// Data can come from memory (FromPoints), from a CSV/TSV stream that is
+// never materialized (FromReader, FromFile), or from a generated Gaussian
+// mixture (FromMixture). The algorithm is pluggable: WithAlgorithm selects
+// MR G-means (the paper's contribution, the default), the original
+// sequential G-means, X-means, or multi-k-means with a k-selection
+// criterion — the baselines the paper compares against — all behind the
+// same Result shape. Long runs are observable and cancellable:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+//	defer cancel()
+//	c, _ := gmeansmr.New(
+//	    gmeansmr.WithAlgorithm(gmeansmr.AlgorithmGMeansMR),
+//	    gmeansmr.WithProgress(func(p gmeansmr.Progress) {
+//	        log.Printf("round %d: k=%d strategy=%s", p.Round, p.K, p.Strategy)
+//	    }),
+//	)
+//	res, err := c.Run(ctx, gmeansmr.FromFile("points.csv"))
 //
 // # Serving
 //
@@ -28,7 +40,7 @@
 // versioned model snapshot and a concurrent HTTP server (see cmd/serve for
 // the standalone binary):
 //
-//	m, _ := gmeansmr.BuildModel(res, ds.Points)
+//	m, _ := gmeansmr.BuildModel(res, points)
 //	f, _ := os.Create("model.gmm")
 //	gmeansmr.SaveModel(m, f) // later: m, _ = gmeansmr.LoadModel(r)
 //	f.Close()
@@ -48,17 +60,14 @@
 package gmeansmr
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"gmeansmr/internal/core"
 	"gmeansmr/internal/dataset"
-	"gmeansmr/internal/dfs"
-	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/model"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/serve"
-	"gmeansmr/internal/vec"
 )
 
 // Point is a point in R^d.
@@ -70,12 +79,16 @@ type DatasetSpec = dataset.Spec
 // Dataset is a generated mixture with ground truth.
 type Dataset = dataset.Dataset
 
-// GenerateDataset materializes a synthetic Gaussian mixture.
+// GenerateDataset materializes a synthetic Gaussian mixture. To stream a
+// mixture into a run without materializing it, use FromMixture instead.
 func GenerateDataset(spec DatasetSpec) (*Dataset, error) { return dataset.Generate(spec) }
 
 // Options tune a Cluster run. The zero value reproduces the paper's
 // configuration: start from one cluster, α=0.0001 Anderson–Darling, two
 // k-means passes per round, a 4-node simulated cluster.
+//
+// Deprecated: Options parameterizes the legacy Cluster entry point; new
+// code should pass functional options to New instead.
 type Options struct {
 	// Nodes is the simulated cluster size (0 = 4, the paper's testbed).
 	Nodes int
@@ -91,87 +104,87 @@ type Options struct {
 	Seed int64
 }
 
-// MergeAuto asks Cluster to derive the merge radius from the discovered
+// MergeAuto asks a run to derive the merge radius from the discovered
 // centers (half the median nearest-neighbor distance).
 const MergeAuto = -1.0
 
-// Result is the outcome of a Cluster run.
+// Result is the outcome of a clustering run, with one shape across all
+// selectable algorithms.
 type Result struct {
+	// Algorithm identifies which algorithm produced the result.
+	Algorithm Algorithm
 	// Centers are the discovered cluster centers; K = len(Centers).
 	Centers []Point
 	K       int
-	// Iterations is the number of G-means rounds executed.
+	// Iterations counts the algorithm's driver rounds: G-means rounds,
+	// X-means improve-structure rounds, multi-k-means chained jobs, or
+	// sequential G-means cluster tests.
 	Iterations int
-	// Assignment maps each input point to its center.
+	// Assignment maps each input point to its center. It is nil when an MR
+	// algorithm ran over a streaming source (computing it would need a
+	// second pass over data that was never held in memory).
 	Assignment []int
-	// Counters exposes the engine's cost accounting (distance
-	// computations, shuffle bytes, Anderson–Darling tests, ...).
+	// Counters exposes the run's cost accounting (distance computations,
+	// shuffle bytes, Anderson–Darling tests, dataset reads, ...). The MR
+	// algorithms report full engine counters; the in-memory algorithms
+	// report their own coarse counts.
 	Counters map[string]int64
+	// WCSS is the within-cluster sum of squares, for the algorithms that
+	// compute it (sequential G-means, X-means, multi-k-means).
+	WCSS float64
+	// WCSSByK maps every candidate k to its WCSS — AlgorithmMultiK only,
+	// nil otherwise.
+	WCSSByK map[int]float64
 }
 
-// Cluster runs MR G-means over in-memory points: it loads them into a
-// simulated DFS, executes the full MapReduce pipeline, and returns the
-// discovered centers. This is the "just cluster my data" entry point; for
-// streaming datasets or experiment-grade control use the internal packages
-// directly.
+// Cluster runs MR G-means over in-memory points with the paper's default
+// configuration and returns the discovered centers.
+//
+// Deprecated: Cluster is a thin wrapper over the Clusterer API and offers
+// no cancellation, no algorithm choice and no observability. Use
+//
+//	c, err := gmeansmr.New(...options...)
+//	res, err := c.Run(ctx, gmeansmr.FromPoints(points))
+//
+// instead.
 func Cluster(points []Point, opts Options) (*Result, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("gmeansmr: no points")
 	}
-	dim := len(points[0])
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, fmt.Errorf("gmeansmr: point %d has %d dimensions, want %d", i, len(p), dim)
-		}
+	if err := validateMergeRadius(opts.MergeRadius); err != nil {
+		return nil, err
 	}
+	options := []Option{WithSeed(opts.Seed)}
+	if opts.Nodes > 0 {
+		options = append(options, WithNodes(opts.Nodes))
+	}
+	if opts.Alpha != 0 {
+		options = append(options, WithAlpha(opts.Alpha))
+	}
+	if opts.MaxK > 0 {
+		options = append(options, WithMaxK(opts.MaxK))
+	}
+	if opts.MergeRadius != 0 {
+		options = append(options, WithMergeRadius(opts.MergeRadius))
+	}
+	// Preserve the original facade's split sizing (estimated from n·dim
+	// rather than measured bytes) so historical runs stay bit-identical.
 	cluster := mr.DefaultCluster()
 	if opts.Nodes > 0 {
 		cluster = cluster.WithNodes(opts.Nodes)
 	}
-
-	// Size splits so every map slot has a few tasks.
-	approxBytes := len(points) * dim * 18
+	approxBytes := len(points) * len(points[0]) * 18
 	splitSize := approxBytes / (cluster.MapCapacity() * 4)
 	if splitSize < 4<<10 {
 		splitSize = 4 << 10
 	}
-	fs := dfs.New(splitSize)
-	w := fs.Writer("/data/points.txt")
-	for _, p := range points {
-		w.WriteString(dataset.FormatPoint(p))
-		w.WriteString("\n")
-	}
-	w.Close()
+	options = append(options, WithSplitSize(splitSize))
 
-	cfg := core.Config{
-		Env:   kmeansmr.Env{FS: fs, Cluster: cluster, Input: "/data/points.txt", Dim: dim},
-		Alpha: opts.Alpha,
-		MaxK:  opts.MaxK,
-		Seed:  opts.Seed,
-	}
-	if opts.MergeRadius > 0 {
-		cfg.MergeRadius = opts.MergeRadius
-	}
-	res, err := core.Run(cfg)
+	c, err := New(options...)
 	if err != nil {
 		return nil, err
 	}
-	centers := res.Centers
-	if opts.MergeRadius == MergeAuto {
-		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
-	}
-
-	assign := make([]int, len(points))
-	for i, p := range points {
-		assign[i], _ = vec.NearestIndex(p, centers)
-	}
-	return &Result{
-		Centers:    centers,
-		K:          len(centers),
-		Iterations: res.Iterations,
-		Assignment: assign,
-		Counters:   res.Counters.Snapshot(),
-	}, nil
+	return c.Run(context.Background(), FromPoints(points))
 }
 
 // Model is a trained clustering model: centers, per-cluster statistics and
@@ -181,15 +194,21 @@ type Model = model.Model
 // ModelMeta is the training provenance carried inside a model snapshot.
 type ModelMeta = model.Meta
 
-// BuildModel converts a finished Cluster run into a persistent model,
-// deriving per-cluster point counts and radii from the run's assignment.
-// points must be the same slice Cluster was called with.
+// BuildModel converts a finished run into a persistent model, deriving
+// per-cluster point counts and radii from the run's assignment. points
+// must be the points the run was trained on (for a streaming source,
+// Materialize them first and rerun, or build the model from a FromPoints
+// run).
 func BuildModel(res *Result, points []Point) (*Model, error) {
 	if res == nil {
 		return nil, fmt.Errorf("gmeansmr: nil result")
 	}
+	algorithm := string(res.Algorithm)
+	if algorithm == "" {
+		algorithm = string(AlgorithmGMeansMR)
+	}
 	return model.FromTraining(res.Centers, points, res.Assignment, ModelMeta{
-		Algorithm:  "gmeans-mr",
+		Algorithm:  algorithm,
 		Iterations: res.Iterations,
 		Counters:   res.Counters,
 	})

@@ -137,6 +137,10 @@ type Config struct {
 	MergeRadius float64
 	// Seed drives initial-center picking and candidate sampling.
 	Seed int64
+	// Progress, when non-nil, is invoked after every G-means round with the
+	// round's diagnostics and a snapshot of the run's cumulative counters.
+	// It runs on the driver goroutine; keep it fast.
+	Progress func(IterationStats, map[string]int64)
 }
 
 func (c Config) withDefaults() Config {

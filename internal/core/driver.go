@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,18 @@ type Result struct {
 //	    KMeansAndFindNewCenters    (last pass + candidate picking)
 //	    TestClusters               (hybrid strategy)
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: ctx is checked at the top of every
+// G-means round and plumbed into every MapReduce job, whose scheduler
+// observes it before launching each task — a cancelled run aborts within
+// one wave, returning an error wrapping ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Env.Ctx == nil {
+		cfg.Env.Ctx = ctx
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,6 +67,9 @@ func Run(cfg Config) (*Result, error) {
 	var found []vec.Vector
 
 	for round := 1; round <= cfg.MaxIterations && len(active) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		roundStart := time.Now()
 		res.Iterations = round
 
@@ -104,6 +119,7 @@ func Run(cfg Config) (*Result, error) {
 				Centers:      vec.CloneAll(found),
 				Duration:     time.Since(roundStart),
 			})
+			notifyProgress(cfg, res)
 			active = nil
 			break
 		}
@@ -202,6 +218,7 @@ func Run(cfg Config) (*Result, error) {
 			EstimatedHeap:  estHeap,
 			Duration:       time.Since(roundStart),
 		})
+		notifyProgress(cfg, res)
 	}
 
 	// Any clusters still active when MaxIterations ran out keep their
@@ -332,4 +349,12 @@ func chooseStrategy(cfg Config, numToTest int, estHeap, minClusterSize int64, nu
 
 func snapshotCenters(found []vec.Vector, active []*activeCluster) []vec.Vector {
 	return vec.CloneAll(liveCenters(found, active))
+}
+
+// notifyProgress reports the just-appended round to the configured observer.
+func notifyProgress(cfg Config, res *Result) {
+	if cfg.Progress == nil {
+		return
+	}
+	cfg.Progress(res.PerIteration[len(res.PerIteration)-1], res.Counters.Snapshot())
 }

@@ -117,6 +117,7 @@ func runKFNC(cfg Config, centers []vec.Vector, round int) (*kfncOutput, *mr.Resu
 		FS:      cfg.FS,
 		Cluster: cfg.Cluster,
 		Input:   []string{cfg.Input},
+		Ctx:     cfg.Env.Ctx,
 		NewMapper: func() mr.Mapper {
 			return &kfncMapper{env: cfg.Env, centers: centers}
 		},
@@ -362,6 +363,7 @@ func runTest(cfg Config, strategy TestStrategy, parents []vec.Vector, foundCount
 		FS:      cfg.FS,
 		Cluster: cfg.Cluster,
 		Input:   []string{cfg.Input},
+		Ctx:     cfg.Env.Ctx,
 		// "The number of reduce tasks is still equal to k": one partition
 		// per cluster under test.
 		NumReducers: numActive,

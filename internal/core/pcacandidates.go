@@ -215,6 +215,7 @@ func runPCACandidates(cfg Config, centers []vec.Vector, round int) ([][]vec.Vect
 		FS:      cfg.FS,
 		Cluster: cfg.Cluster,
 		Input:   []string{cfg.Input},
+		Ctx:     cfg.Env.Ctx,
 		NewMapper: func() mr.Mapper {
 			return &pcaMapper{env: cfg.Env, centers: centers}
 		},

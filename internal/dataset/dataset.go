@@ -7,6 +7,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -200,6 +201,82 @@ func farEnough(c vec.Vector, centers []vec.Vector, minSep2 float64) bool {
 		}
 	}
 	return true
+}
+
+// ValidatePoint rejects points with NaN or ±Inf coordinates. A single such
+// coordinate poisons every centroid sum it enters, so ingestion paths check
+// points once up front instead of letting the damage surface as garbage
+// centers hours into a run.
+func ValidatePoint(p vec.Vector) error {
+	for i, x := range p {
+		if math.IsNaN(x) {
+			return fmt.Errorf("dataset: coordinate %d is NaN", i)
+		}
+		if math.IsInf(x, 0) {
+			return fmt.Errorf("dataset: coordinate %d is %v", i, x)
+		}
+	}
+	return nil
+}
+
+// Stream generates the mixture described by a Spec one point at a time,
+// never materializing the dataset — the workload source for runs too large
+// to hold in memory. Unlike Generate, which assigns clusters round-robin
+// and shuffles afterwards, Stream draws each point's cluster at random
+// (weighted when Spec.Weights is set), which interleaves clusters so every
+// DFS split samples all of them — the property the mapper-side normality
+// test relies on.
+type Stream struct {
+	spec    Spec
+	rng     *rand.Rand
+	centers []vec.Vector
+	cum     []float64 // cumulative weights; nil = uniform
+	total   float64
+	emitted int
+}
+
+// NewStream validates the spec and prepares a deterministic point stream.
+func NewStream(spec Spec) (*Stream, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	s := &Stream{spec: spec, rng: rng, centers: sampleCenters(rng, spec)}
+	if spec.Weights != nil {
+		s.cum = make([]float64, spec.K)
+		for i, w := range spec.Weights {
+			s.total += w
+			s.cum[i] = s.total
+		}
+	}
+	return s, nil
+}
+
+// Centers returns the ground-truth mixture centers.
+func (s *Stream) Centers() []vec.Vector { return s.centers }
+
+// Next returns the next point and its ground-truth cluster label, or
+// ok=false once Spec.N points have been produced.
+func (s *Stream) Next() (p vec.Vector, label int, ok bool) {
+	if s.emitted >= s.spec.N {
+		return nil, 0, false
+	}
+	s.emitted++
+	c := 0
+	if s.cum == nil {
+		c = s.rng.Intn(s.spec.K)
+	} else {
+		x := s.rng.Float64() * s.total
+		for c < len(s.cum)-1 && x >= s.cum[c] {
+			c++
+		}
+	}
+	p = make(vec.Vector, s.spec.Dim)
+	for d := range p {
+		p[d] = s.centers[c][d] + s.rng.NormFloat64()*s.spec.StdDev
+	}
+	return p, c, true
 }
 
 // FormatPoint encodes a point as the engine's text record: space-separated

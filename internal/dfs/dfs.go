@@ -66,7 +66,24 @@ func New(splitSize int) *FS {
 }
 
 // SplitSize returns the configured split size in bytes.
-func (fs *FS) SplitSize() int { return fs.splitSize }
+func (fs *FS) SplitSize() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.splitSize
+}
+
+// SetSplitSize reconfigures the split size; subsequent Splits calls use the
+// new value. A non-positive size selects DefaultSplitSize. Callers that
+// stream a dataset of unknown size into the FS use this to right-size the
+// splits once the total byte count is known.
+func (fs *FS) SetSplitSize(size int) {
+	if size <= 0 {
+		size = DefaultSplitSize
+	}
+	fs.mu.Lock()
+	fs.splitSize = size
+	fs.mu.Unlock()
+}
 
 // BytesRead returns the total number of bytes served to readers so far.
 func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
@@ -189,6 +206,7 @@ type Split struct {
 func (fs *FS) Splits(path string) ([]Split, error) {
 	fs.mu.RLock()
 	f, ok := fs.files[path]
+	ss := int64(fs.splitSize)
 	fs.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
@@ -197,7 +215,6 @@ func (fs *FS) Splits(path string) ([]Split, error) {
 	if total == 0 {
 		return nil, nil
 	}
-	ss := int64(fs.splitSize)
 	var out []Split
 	for off, i := int64(0), 0; off < total; off, i = off+ss, i+1 {
 		end := off + ss

@@ -14,6 +14,7 @@
 package kmeansmr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -46,6 +47,18 @@ type Env struct {
 	// that the paper's related work cites). Results are identical to the
 	// linear scan; only the number of distance computations drops.
 	UseKDTree bool
+	// Ctx, when non-nil, cancels or deadlines every job built from this
+	// environment — the drivers (G-means rounds, multi-k-means iterations)
+	// also check it between jobs. Nil means context.Background().
+	Ctx context.Context
+}
+
+// Context returns the environment's context, defaulting to Background.
+func (e Env) Context() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // NearestFunc returns the environment's nearest-center lookup over the
@@ -168,6 +181,7 @@ func iterate(env Env, centers []vec.Vector, name string, combine bool) (*Iterati
 		FS:      env.FS,
 		Cluster: env.Cluster,
 		Input:   []string{env.Input},
+		Ctx:     env.Ctx,
 		NewMapper: func() mr.Mapper {
 			return &assignMapper{env: env, centers: centers}
 		},

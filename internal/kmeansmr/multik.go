@@ -46,6 +46,9 @@ type MultiConfig struct {
 	// Seeding selects the initializer (default: random, as in the paper).
 	Seeding MultiSeeding
 	Seed    int64
+	// Progress, when non-nil, is invoked after every chained job with the
+	// 1-based iteration number and the job's wall time.
+	Progress func(iteration int, duration time.Duration)
 }
 
 func (c MultiConfig) withDefaults() MultiConfig {
@@ -161,11 +164,15 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		Counters:   mr.NewCounters(),
 	}
 	for it := 0; it < cfg.Iterations; it++ {
+		if err := cfg.Context().Err(); err != nil {
+			return nil, err
+		}
 		job := &mr.Job{
 			Name:    fmt.Sprintf("multi-k-means-iter-%d", it),
 			FS:      cfg.FS,
 			Cluster: cfg.Cluster,
 			Input:   []string{cfg.Input},
+			Ctx:     cfg.Ctx,
 			NewMapper: func() mr.Mapper {
 				return &multiMapper{env: cfg.Env, centerSets: centerSets, ks: ks}
 			},
@@ -178,6 +185,9 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		}
 		res.IterationTimes = append(res.IterationTimes, jr.Duration)
 		jr.Counters.MergeInto(res.Counters)
+		if cfg.Progress != nil {
+			cfg.Progress(it+1, jr.Duration)
+		}
 
 		next := make(map[int][]vec.Vector, len(ks))
 		for _, k := range ks {
@@ -323,6 +333,7 @@ func Evaluate(cfg MultiConfig, res *MultiResult) error {
 		FS:      cfg.FS,
 		Cluster: cfg.Cluster,
 		Input:   []string{cfg.Input},
+		Ctx:     cfg.Ctx,
 		NewMapper: func() mr.Mapper {
 			return &evalMapper{env: cfg.Env, centerSets: res.CentersByK, ks: ks}
 		},

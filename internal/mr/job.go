@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -33,6 +34,12 @@ type Job struct {
 	NumReducers int
 
 	Partition Partitioner // nil selects DefaultPartitioner
+
+	// Ctx, when non-nil, lets callers cancel the job or bound it with a
+	// deadline. The scheduler checks it before launching every task, so a
+	// cancelled job aborts after the tasks already in flight drain — no
+	// goroutines outlive Run. Nil means context.Background().
+	Ctx context.Context
 }
 
 // Result is the outcome of a successful job.
@@ -68,10 +75,16 @@ func (e *emitter) Emit(key int64, value Value) {
 
 // Run executes the job to completion and returns its result, or the first
 // task error encountered. A failing task fails the job, matching Hadoop's
-// behaviour for deterministic task errors such as heap exhaustion.
+// behaviour for deterministic task errors such as heap exhaustion. When
+// j.Ctx is cancelled the job stops scheduling tasks and returns an error
+// wrapping ctx.Err().
 func (j *Job) Run() (*Result, error) {
 	if err := j.validate(); err != nil {
 		return nil, err
+	}
+	ctx := j.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	numReducers := j.NumReducers
 	if numReducers <= 0 {
@@ -105,11 +118,11 @@ func (j *Job) Run() (*Result, error) {
 		shuffle[p] = make([][]KV, len(splits))
 	}
 
-	if err := j.runMapPhase(splits, numReducers, partition, counters, shuffle); err != nil {
+	if err := j.runMapPhase(ctx, splits, numReducers, partition, counters, shuffle); err != nil {
 		return nil, err
 	}
 
-	output, err := j.runReducePhase(numReducers, counters, shuffle)
+	output, err := j.runReducePhase(ctx, numReducers, counters, shuffle)
 	if err != nil {
 		return nil, err
 	}
@@ -138,8 +151,9 @@ func (j *Job) validate() error {
 }
 
 // runMapPhase executes one map task per split on a worker pool bounded by
-// the cluster's map capacity.
-func (j *Job) runMapPhase(splits []dfs.Split, numReducers int, partition Partitioner, counters *Counters, shuffle [][][]KV) error {
+// the cluster's map capacity. Context cancellation is observed before every
+// task launch: tasks already running drain, queued tasks never start.
+func (j *Job) runMapPhase(ctx context.Context, splits []dfs.Split, numReducers int, partition Partitioner, counters *Counters, shuffle [][][]KV) error {
 	sem := make(chan struct{}, j.Cluster.MapCapacity())
 	var (
 		wg       sync.WaitGroup
@@ -147,29 +161,54 @@ func (j *Job) runMapPhase(splits []dfs.Split, numReducers int, partition Partiti
 		firstErr error
 	)
 	for t, sp := range splits {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(taskID int, sp dfs.Split) {
-			defer func() { <-sem; wg.Done() }()
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		// Deterministic check first: a two-way select alone would pick a
+		// ready case at random and could keep launching tasks on a
+		// cancelled context.
+		if err := ctx.Err(); err != nil {
 			mu.Lock()
-			aborted := firstErr != nil
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, err)
+			}
 			mu.Unlock()
-			if aborted {
-				return
-			}
-			runs, err := j.runMapTask(taskID, sp, numReducers, partition, counters)
+			break
+		}
+		select {
+		case <-ctx.Done():
 			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
+			}
+			mu.Unlock()
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(taskID int, sp dfs.Split) {
+				defer func() { <-sem; wg.Done() }()
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
 				}
-				return
-			}
-			for p := range runs {
-				shuffle[p][taskID] = runs[p]
-			}
-		}(t, sp)
+				runs, err := j.runMapTask(taskID, sp, numReducers, partition, counters)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				for p := range runs {
+					shuffle[p][taskID] = runs[p]
+				}
+			}(t, sp)
+		}
 	}
 	wg.Wait()
 	return firstErr
@@ -282,8 +321,9 @@ func (j *Job) combineRun(ctx *TaskContext, taskID int, run []KV, counters *Count
 
 // runReducePhase executes one reduce task per partition on a worker pool
 // bounded by the cluster's reduce capacity, returning the concatenated
-// output in partition order.
-func (j *Job) runReducePhase(numReducers int, counters *Counters, shuffle [][][]KV) ([]KV, error) {
+// output in partition order. Cancellation is observed before every task
+// launch, as in the map phase.
+func (j *Job) runReducePhase(ctx context.Context, numReducers int, counters *Counters, shuffle [][][]KV) ([]KV, error) {
 	sem := make(chan struct{}, j.Cluster.ReduceCapacity())
 	outputs := make([][]KV, numReducers)
 	var (
@@ -292,27 +332,50 @@ func (j *Job) runReducePhase(numReducers int, counters *Counters, shuffle [][][]
 		firstErr error
 	)
 	for p := 0; p < numReducers; p++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(p int) {
-			defer func() { <-sem; wg.Done() }()
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		// Deterministic check first, as in runMapPhase.
+		if err := ctx.Err(); err != nil {
 			mu.Lock()
-			aborted := firstErr != nil
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, err)
+			}
 			mu.Unlock()
-			if aborted {
-				return
-			}
-			out, err := j.runReduceTask(p, counters, shuffle[p])
+			break
+		}
+		select {
+		case <-ctx.Done():
 			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
 			}
-			outputs[p] = out
-		}(p)
+			mu.Unlock()
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(p int) {
+				defer func() { <-sem; wg.Done() }()
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
+				}
+				out, err := j.runReduceTask(p, counters, shuffle[p])
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				outputs[p] = out
+			}(p)
+		}
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -14,6 +14,7 @@
 package seqgmeans
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -50,6 +51,10 @@ type Config struct {
 	// Init selects child placement (default InitPrincipal).
 	Init ChildInit
 	Seed int64
+	// Progress, when non-nil, is invoked as the work queue advances, with
+	// the counts of finalized centers, clusters still queued, tests run and
+	// accepted splits so far.
+	Progress func(found, pending, tests, splits int)
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +87,12 @@ type Result struct {
 
 // Run executes sequential G-means starting from a single cluster.
 func Run(points []vec.Vector, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), points, cfg)
+}
+
+// RunContext is Run with cancellation: ctx is checked before every cluster
+// test, so a cancelled run returns promptly with ctx.Err().
+func RunContext(ctx context.Context, points []vec.Vector, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if len(points) == 0 {
 		return nil, errors.New("seqgmeans: no points")
@@ -103,8 +114,14 @@ func Run(points []vec.Vector, cfg Config) (*Result, error) {
 	var final []vec.Vector
 
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w := queue[0]
 		queue = queue[1:]
+		if cfg.Progress != nil {
+			cfg.Progress(len(final), len(queue), res.Tests, res.Splits)
+		}
 
 		if len(w.members) < cfg.MinClusterSize || len(final)+len(queue)+2 > cfg.MaxK {
 			final = append(final, w.center)

@@ -7,6 +7,7 @@
 package xmeans
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -27,6 +28,9 @@ type Config struct {
 	// UseAIC switches the improvement criterion from BIC to AIC.
 	UseAIC bool
 	Seed   int64
+	// Progress, when non-nil, is invoked after every improve-structure
+	// round with the 1-based round number and the current center count.
+	Progress func(round, k int)
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +61,13 @@ type Result struct {
 // and keep the split when the information criterion of the local 2-means
 // model beats the 1-cluster model).
 func Run(points []vec.Vector, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), points, cfg)
+}
+
+// RunContext is Run with cancellation: ctx is checked at the top of every
+// improve-structure round, so a cancelled run returns promptly with
+// ctx.Err().
+func RunContext(ctx context.Context, points []vec.Vector, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if len(points) == 0 {
 		return nil, errors.New("xmeans: no points")
@@ -76,6 +87,9 @@ func Run(points []vec.Vector, cfg Config) (*Result, error) {
 	centers := res.Centers
 	rounds := 0
 	for len(centers) < cfg.KMax {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rounds++
 		// Improve params.
 		full, err := lloyd.RunFrom(points, centers, lloyd.Config{MaxIterations: cfg.MaxKMeansIterations})
@@ -119,6 +133,9 @@ func Run(points []vec.Vector, cfg Config) (*Result, error) {
 			}
 		}
 		centers = next
+		if cfg.Progress != nil {
+			cfg.Progress(rounds, len(centers))
+		}
 		if !splitAny {
 			break
 		}

@@ -1,0 +1,276 @@
+package gmeansmr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gmeansmr/internal/dataset"
+)
+
+// DataSource supplies the points of one dataset to a Clusterer run. The
+// three stock sources — FromPoints, FromReader/FromFile and FromMixture —
+// cover in-memory slices, streamed CSV/TSV text and generated Gaussian
+// mixtures; implement the interface directly to feed anything else.
+type DataSource interface {
+	// Open returns a reader positioned at the first point. Sources backed
+	// by re-readable data (a slice, a file path, a generator spec) may be
+	// opened any number of times; a source wrapping a one-shot io.Reader
+	// can be opened once and fails afterwards.
+	Open() (PointReader, error)
+}
+
+// PointReader iterates the points of a DataSource.
+type PointReader interface {
+	// Next returns the next point, or io.EOF after the last one. Returned
+	// slices are owned by the caller.
+	Next() (Point, error)
+	// Close releases the reader's resources. It is safe to call after an
+	// error and must be called when abandoning the reader early.
+	Close() error
+}
+
+// pointsProvider is the optional fast path a source implements when its
+// points already live in memory: Run uses it to compute Result.Assignment
+// without a second pass over the source.
+type pointsProvider interface {
+	points() []Point
+}
+
+// ---------------------------------------------------------------------------
+// In-memory slice
+// ---------------------------------------------------------------------------
+
+// FromPoints wraps an in-memory point slice as a DataSource. The slice is
+// retained, not copied, and must not be mutated while a run uses it.
+func FromPoints(pts []Point) DataSource { return &memorySource{pts: pts} }
+
+type memorySource struct{ pts []Point }
+
+func (s *memorySource) Open() (PointReader, error) { return &memoryReader{pts: s.pts}, nil }
+func (s *memorySource) points() []Point            { return s.pts }
+
+type memoryReader struct {
+	pts []Point
+	i   int
+}
+
+func (r *memoryReader) Next() (Point, error) {
+	if r.i >= len(r.pts) {
+		return nil, io.EOF
+	}
+	p := r.pts[r.i]
+	r.i++
+	return p, nil
+}
+
+func (r *memoryReader) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Streamed text: CSV, TSV, space-separated
+// ---------------------------------------------------------------------------
+
+// FromReader streams points from r, one point per line, with coordinates
+// separated by commas, tabs or spaces (CSV, TSV and the plain text format
+// of cmd/datagen all parse). Blank lines and lines starting with '#' are
+// skipped, and a single non-numeric leading line is tolerated as a header.
+// The source can be opened once; points flow straight into the engine
+// without the dataset ever being materialized in memory.
+func FromReader(r io.Reader) DataSource { return &readerSource{r: r} }
+
+type readerSource struct {
+	r      io.Reader
+	opened bool
+}
+
+func (s *readerSource) Open() (PointReader, error) {
+	if s.opened {
+		return nil, fmt.Errorf("gmeansmr: FromReader source already consumed; wrap a fresh io.Reader")
+	}
+	s.opened = true
+	return newTextReader(s.r, nil), nil
+}
+
+// FromFile is FromReader over an operating-system file, opened lazily at
+// each Open call — unlike FromReader it is re-readable.
+func FromFile(path string) DataSource { return &fileSource{path: path} }
+
+type fileSource struct{ path string }
+
+func (s *fileSource) Open() (PointReader, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("gmeansmr: %w", err)
+	}
+	return newTextReader(f, f), nil
+}
+
+type textReader struct {
+	sc     *bufio.Scanner
+	closer io.Closer
+	line   int
+	first  bool // next data line is the first: tolerate a header
+}
+
+func newTextReader(r io.Reader, closer io.Closer) *textReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+	return &textReader{sc: sc, closer: closer, first: true}
+}
+
+func (t *textReader) Next() (Point, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimRight(t.sc.Text(), "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.ContainsRune(line, ',') {
+			line = strings.ReplaceAll(line, ",", " ")
+		}
+		p, err := dataset.ParsePoint(line)
+		if err != nil {
+			if t.first && looksLikeHeader(line) {
+				// A fully non-numeric first row is a column header. A first
+				// row with any numeric field is corrupt data, not a header,
+				// and must error rather than be silently dropped.
+				t.first = false
+				continue
+			}
+			return nil, fmt.Errorf("gmeansmr: line %d: %w", t.line, err)
+		}
+		t.first = false
+		return p, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return nil, fmt.Errorf("gmeansmr: %w", err)
+	}
+	return nil, io.EOF
+}
+
+func (t *textReader) Close() error {
+	if t.closer != nil {
+		return t.closer.Close()
+	}
+	return nil
+}
+
+// looksLikeHeader reports whether no field of the (separator-normalized)
+// line parses as a number — the signature of a column-header row.
+func looksLikeHeader(line string) bool {
+	for _, f := range strings.Fields(line) {
+		if _, err := strconv.ParseFloat(f, 64); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Generated Gaussian mixture
+// ---------------------------------------------------------------------------
+
+// FromMixture generates the Gaussian mixture described by spec on the fly,
+// one point at a time — a workload source for runs larger than memory. The
+// stream is deterministic in spec.Seed and re-readable (every Open replays
+// the same points).
+func FromMixture(spec DatasetSpec) DataSource { return &mixtureSource{spec: spec} }
+
+type mixtureSource struct{ spec DatasetSpec }
+
+func (s *mixtureSource) Open() (PointReader, error) {
+	st, err := dataset.NewStream(s.spec)
+	if err != nil {
+		return nil, err
+	}
+	return &mixtureReader{st: st}, nil
+}
+
+type mixtureReader struct{ st *dataset.Stream }
+
+func (r *mixtureReader) Next() (Point, error) {
+	p, _, ok := r.st.Next()
+	if !ok {
+		return nil, io.EOF
+	}
+	return p, nil
+}
+
+func (r *mixtureReader) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// Materialize drains a DataSource into memory, applying the same
+// validation a run applies (consistent dimensionality, no NaN/±Inf). Use
+// it when the points themselves are needed afterwards — e.g. to build a
+// serving model with BuildModel.
+func Materialize(src DataSource) ([]Point, error) {
+	if mem, ok := src.(pointsProvider); ok {
+		pts := mem.points()
+		if err := validatePoints(pts); err != nil {
+			return nil, err
+		}
+		return pts, nil
+	}
+	rd, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	var pts []Point
+	dim := 0
+	for {
+		p, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := checkPoint(p, len(pts), &dim); err != nil {
+			return nil, err
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("gmeansmr: no points")
+	}
+	return pts, nil
+}
+
+// validatePoints checks an in-memory slice the same way streaming
+// ingestion checks each point.
+func validatePoints(pts []Point) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("gmeansmr: no points")
+	}
+	dim := 0
+	for i, p := range pts {
+		if err := checkPoint(p, i, &dim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPoint enforces consistent dimensionality (learning it from the
+// first point when *dim is zero) and finite coordinates.
+func checkPoint(p Point, i int, dim *int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("gmeansmr: point %d is empty", i)
+	}
+	if *dim == 0 {
+		*dim = len(p)
+	} else if len(p) != *dim {
+		return fmt.Errorf("gmeansmr: point %d has %d dimensions, want %d", i, len(p), *dim)
+	}
+	if err := dataset.ValidatePoint(p); err != nil {
+		return fmt.Errorf("gmeansmr: point %d: %w", i, err)
+	}
+	return nil
+}
