@@ -431,6 +431,62 @@ func BenchmarkAssignBatch(b *testing.B) {
 
 // --- Microbenchmarks of the hot kernels --------------------------------------
 
+// BenchmarkIterationHotPath is the acceptance benchmark of the decoded-
+// split cache + in-mapper combining work: one repeated MR k-means
+// iteration (d=10, n=100k) on the legacy text-parse path (the pre-cache
+// formulation: re-parse every record, emit per point, combine at spill)
+// versus the cached point path. Before timing, it asserts that the two
+// paths produce bit-identical centers, sizes and app.* counters — the
+// speedup must not buy any change in results. (Both paths share this
+// build's Dist2 kernel; its 4-lane unroll reassociates low-order bits
+// relative to releases before the cache landed.)
+func BenchmarkIterationHotPath(b *testing.B) {
+	spec := dataset.Spec{K: 16, Dim: 10, N: 100_000, CenterRange: 100,
+		StdDev: 1, MinSeparation: 8, Seed: 73}
+	env, ds := benchEnv(b, spec, benchCluster())
+	centers := ds.Centers
+
+	// Equality gate (also warms the decode cache, so the cached runs below
+	// measure the steady state the repeated-iteration workload lives in).
+	cached, err := kmeansmr.Iterate(env, centers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	legacy, err := kmeansmr.IterateLegacy(env, centers, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := range centers {
+		if !vec.Equal(cached.Centers[c], legacy.Centers[c]) || cached.Sizes[c] != legacy.Sizes[c] {
+			b.Fatalf("cached and legacy paths disagree on center %d", c)
+		}
+	}
+	for _, counter := range []string{kmeansmr.CounterDistances, kmeansmr.CounterPoints} {
+		if cached.Job.Counters.Get(counter) != legacy.Job.Counters.Get(counter) {
+			b.Fatalf("cached and legacy paths disagree on %s", counter)
+		}
+	}
+
+	b.Run("legacy-text-parse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kmeansmr.IterateLegacy(env, centers, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(spec.N), "points")
+	})
+	b.Run("cached-inmapper", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kmeansmr.Iterate(env, centers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(spec.N), "points")
+	})
+}
+
 func BenchmarkKMeansIterationMR(b *testing.B) {
 	spec := dataset.Spec{K: 32, Dim: 10, N: 50_000, CenterRange: 100,
 		StdDev: 1, MinSeparation: 8, Seed: 41}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"gmeansmr/internal/dataset"
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/stats"
@@ -24,31 +23,83 @@ const (
 // KMeansAndFindNewCenters (paper Algorithm 2)
 // ---------------------------------------------------------------------------
 
-// kfncMapper performs the last k-means assignment of the round and emits
-// every point a second time under key+Offset so the reduce side can pick
-// two candidate next-iteration centers per current center. "The coordinates
-// of each point are emitted twice. This doubles the quantity of data to be
-// shuffled ... largely mitigated by the use of a combiner."
+// kfncMapper performs the last k-means assignment of the round over
+// decoded points. The paper's formulation emits the coordinates of each
+// point twice — once for the k-means reduction and once under key+Offset
+// so the reduce side can pick two candidate next-iteration centers per
+// current center ("This doubles the quantity of data to be shuffled ...
+// largely mitigated by the use of a combiner"). This mapper pre-combines
+// the k-means half in-mapper (per-center WeightedPoint accumulators,
+// flushed in Close), which is exactly what the spill combiner would have
+// produced for those keys, in the same fold order — so sums, candidate
+// selection and therefore the whole G-means trajectory stay bit-identical
+// to the emit-twice formulation. Candidate records still go out one per
+// point: the combiner/reducer's seeded random pick needs to see them.
 type kfncMapper struct {
+	env     kmeansmr.Env
+	centers []vec.Vector
+	nearest func(vec.Vector) (int, float64, int64)
+
+	accs   []vec.WeightedPoint
+	dists  int64
+	points int64
+}
+
+func (m *kfncMapper) Setup(*mr.TaskContext) error {
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.centers)
+	}
+	m.accs = make([]vec.WeightedPoint, len(m.centers))
+	return nil
+}
+
+func (m *kfncMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
+	best, _, comps := m.nearest(p)
+	m.dists += comps
+	m.points++
+	if best < 0 {
+		return fmt.Errorf("core: point has no nearest center (all distances non-finite)")
+	}
+	m.accs[best].Merge(vec.WeightedPoint{Sum: p, Count: 1})
+	// The candidate value wraps the cache's point view without copying:
+	// combiners and reducers re-emit candidate values verbatim and never
+	// mutate them, and the driver copies on Centroid().
+	emit.Emit(int64(best)+Offset, mr.OwnWeightedPointValue(p))
+	return nil
+}
+
+func (m *kfncMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
+	ctx.Counter(kmeansmr.CounterDistances, m.dists)
+	ctx.Counter(kmeansmr.CounterPoints, m.points)
+	for i := range m.accs {
+		if m.accs[i].Count > 0 {
+			emit.Emit(int64(i), mr.WeightedPointValue{WeightedPoint: m.accs[i]})
+		}
+	}
+	return nil
+}
+
+// legacyKFNCMapper is the paper's literal emit-twice formulation, kept for
+// the DisableCombiners ablation so the "doubled shuffle" the paper
+// describes stays measurable.
+type legacyKFNCMapper struct {
 	env     kmeansmr.Env
 	centers []vec.Vector
 	nearest func(vec.Vector) (int, float64, int64)
 }
 
-func (m *kfncMapper) Setup(*mr.TaskContext) error {
-	m.nearest = m.env.NearestFunc(m.centers)
+func (m *legacyKFNCMapper) Setup(*mr.TaskContext) error {
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.centers)
+	}
 	return nil
 }
 
-func (m *kfncMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
-	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
-	if err != nil {
-		return err
-	}
+func (m *legacyKFNCMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
 	ctx.Counter(kmeansmr.CounterDistances, comps)
 	ctx.Counter(kmeansmr.CounterPoints, 1)
-	// Both values share the parsed vector: the k-means reduction only
+	// Both values share the cached vector: the k-means reduction only
 	// accumulates into its own sums and the candidate path re-emits
 	// values verbatim, so no copy is needed.
 	wp := mr.OwnWeightedPointValue(p)
@@ -57,7 +108,7 @@ func (m *kfncMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) er
 	return nil
 }
 
-func (m *kfncMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+func (m *legacyKFNCMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
 
 // kfncReducer serves as combiner and reducer of KMeansAndFindNewCenters:
 // "the combiner and reducer test the value of the key. If it is larger than
@@ -112,18 +163,24 @@ type kfncOutput struct {
 
 // runKFNC runs the KMeansAndFindNewCenters job over the given centers.
 func runKFNC(cfg Config, centers []vec.Vector, round int) (*kfncOutput, *mr.Result, error) {
+	nearest := cfg.Env.NearestFunc(centers)
 	job := &mr.Job{
-		Name:    fmt.Sprintf("gmeans-kfnc-round-%d", round),
-		FS:      cfg.FS,
-		Cluster: cfg.Cluster,
-		Input:   []string{cfg.Input},
-		Ctx:     cfg.Env.Ctx,
-		NewMapper: func() mr.Mapper {
-			return &kfncMapper{env: cfg.Env, centers: centers}
-		},
+		Name:       fmt.Sprintf("gmeans-kfnc-round-%d", round),
+		FS:         cfg.FS,
+		Cluster:    cfg.Cluster,
+		Input:      []string{cfg.Input},
+		Ctx:        cfg.Env.Ctx,
+		PointDim:   cfg.Dim,
 		NewReducer: func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} },
 	}
-	if !cfg.DisableCombiners {
+	if cfg.DisableCombiners {
+		job.NewPointMapper = func() mr.PointMapper {
+			return &legacyKFNCMapper{env: cfg.Env, centers: centers, nearest: nearest}
+		}
+	} else {
+		job.NewPointMapper = func() mr.PointMapper {
+			return &kfncMapper{env: cfg.Env, centers: centers, nearest: nearest}
+		}
 		job.NewCombiner = func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} }
 	}
 	res, err := job.Run()
@@ -180,15 +237,13 @@ type testMapper struct {
 }
 
 func (m *testMapper) Setup(*mr.TaskContext) error {
-	m.nearest = m.env.NearestFunc(m.parents)
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.parents)
+	}
 	return nil
 }
 
-func (m *testMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
-	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
-	if err != nil {
-		return err
-	}
+func (m *testMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
 	ctx.Counter(kmeansmr.CounterDistances, comps)
 	if best < m.foundCount {
@@ -265,15 +320,13 @@ type fewMapper struct {
 
 func (m *fewMapper) Setup(*mr.TaskContext) error {
 	m.lists = make(map[int][]float64)
-	m.nearest = m.env.NearestFunc(m.parents)
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.parents)
+	}
 	return nil
 }
 
-func (m *fewMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
-	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
-	if err != nil {
-		return err
-	}
+func (m *fewMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
 	ctx.Counter(kmeansmr.CounterDistances, comps)
 	if best < m.foundCount {
@@ -358,26 +411,29 @@ func (r *fewReducer) Close(*mr.TaskContext, mr.Emitter) error { return nil }
 // come back Decided=false.
 func runTest(cfg Config, strategy TestStrategy, parents []vec.Vector, foundCount int, vectors []vec.Vector, round int) ([]TestOutcome, *mr.Result, error) {
 	numActive := len(vectors)
+	nearest := cfg.Env.NearestFunc(parents)
 	job := &mr.Job{
-		Name:    fmt.Sprintf("gmeans-%s-round-%d", strategy, round),
-		FS:      cfg.FS,
-		Cluster: cfg.Cluster,
-		Input:   []string{cfg.Input},
-		Ctx:     cfg.Env.Ctx,
+		Name:     fmt.Sprintf("gmeans-%s-round-%d", strategy, round),
+		FS:       cfg.FS,
+		Cluster:  cfg.Cluster,
+		Input:    []string{cfg.Input},
+		Ctx:      cfg.Env.Ctx,
+		PointDim: cfg.Dim,
 		// "The number of reduce tasks is still equal to k": one partition
 		// per cluster under test.
 		NumReducers: numActive,
 	}
 	switch strategy {
 	case StrategyReducer:
-		job.NewMapper = func() mr.Mapper {
-			return &testMapper{env: cfg.Env, parents: parents, foundCount: foundCount, vectors: vectors}
+		job.NewPointMapper = func() mr.PointMapper {
+			return &testMapper{env: cfg.Env, parents: parents, foundCount: foundCount,
+				vectors: vectors, nearest: nearest}
 		}
 		job.NewReducer = func() mr.Reducer { return &testReducer{alpha: cfg.Alpha, minN: cfg.MinTestSamples} }
 	case StrategyFewClusters:
-		job.NewMapper = func() mr.Mapper {
+		job.NewPointMapper = func() mr.PointMapper {
 			return &fewMapper{env: cfg.Env, parents: parents, foundCount: foundCount,
-				vectors: vectors, alpha: cfg.Alpha, minN: cfg.MinTestSamples}
+				vectors: vectors, alpha: cfg.Alpha, minN: cfg.MinTestSamples, nearest: nearest}
 		}
 		job.NewReducer = func() mr.Reducer { return &fewReducer{vote: cfg.Vote} }
 	default:

@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 
-	"gmeansmr/internal/dataset"
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/vec"
@@ -91,16 +90,14 @@ type pcaMapper struct {
 }
 
 func (m *pcaMapper) Setup(*mr.TaskContext) error {
-	m.nearest = m.env.NearestFunc(m.centers)
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.centers)
+	}
 	m.acc = make(map[int]*covValue)
 	return nil
 }
 
-func (m *pcaMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
-	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
-	if err != nil {
-		return err
-	}
+func (m *pcaMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
 	ctx.Counter(kmeansmr.CounterDistances, comps)
 	a := m.acc[best]
@@ -210,14 +207,16 @@ func powerIteration(cov []float64, d, iters int, rng *rand.Rand) (vec.Vector, fl
 // the given centers and returns two principal-component children per
 // center (entries may be nil for empty clusters).
 func runPCACandidates(cfg Config, centers []vec.Vector, round int) ([][]vec.Vector, *mr.Result, error) {
+	nearest := cfg.Env.NearestFunc(centers)
 	job := &mr.Job{
-		Name:    fmt.Sprintf("gmeans-pca-candidates-round-%d", round),
-		FS:      cfg.FS,
-		Cluster: cfg.Cluster,
-		Input:   []string{cfg.Input},
-		Ctx:     cfg.Env.Ctx,
-		NewMapper: func() mr.Mapper {
-			return &pcaMapper{env: cfg.Env, centers: centers}
+		Name:     fmt.Sprintf("gmeans-pca-candidates-round-%d", round),
+		FS:       cfg.FS,
+		Cluster:  cfg.Cluster,
+		Input:    []string{cfg.Input},
+		Ctx:      cfg.Env.Ctx,
+		PointDim: cfg.Dim,
+		NewPointMapper: func() mr.PointMapper {
+			return &pcaMapper{env: cfg.Env, centers: centers, nearest: nearest}
 		},
 		NewReducer: func() mr.Reducer { return &pcaReducer{seed: cfg.Seed + int64(round)} },
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/pointtext"
 	"gmeansmr/internal/vec"
 )
 
@@ -293,62 +294,25 @@ func FormatPoint(p vec.Vector) string {
 	return b.String()
 }
 
-// ParsePoint decodes a text record produced by FormatPoint. It allocates
-// exactly one vector and tolerates repeated separators.
+// ParsePoint decodes a text record produced by FormatPoint, inferring the
+// dimensionality from the record itself. Like ParsePointDim it delegates
+// to the shared pointtext tokenizer.
 func ParsePoint(line string) (vec.Vector, error) {
-	var out vec.Vector
-	i := 0
-	n := len(line)
-	for i < n {
-		for i < n && (line[i] == ' ' || line[i] == '\t') {
-			i++
-		}
-		if i >= n {
-			break
-		}
-		j := i
-		for j < n && line[j] != ' ' && line[j] != '\t' {
-			j++
-		}
-		x, err := strconv.ParseFloat(line[i:j], 64)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: bad coordinate %q: %w", line[i:j], err)
-		}
-		out = append(out, x)
-		i = j
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("dataset: empty point record")
+	out, err := pointtext.AppendPointAny(vec.Vector(nil), line)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	return out, nil
 }
 
 // ParsePointDim decodes a point when the dimensionality is known, avoiding
-// the growth reallocations of ParsePoint. It is the hot path of every
-// mapper in the repository.
+// the growth reallocations of ParsePoint. It delegates to the shared
+// pointtext tokenizer — the same one the dfs decoded-split cache uses —
+// so the text and cached scan paths can never diverge on record syntax.
 func ParsePointDim(line string, dim int) (vec.Vector, error) {
-	out := make(vec.Vector, 0, dim)
-	i, n := 0, len(line)
-	for i < n {
-		for i < n && (line[i] == ' ' || line[i] == '\t') {
-			i++
-		}
-		if i >= n {
-			break
-		}
-		j := i
-		for j < n && line[j] != ' ' && line[j] != '\t' {
-			j++
-		}
-		x, err := strconv.ParseFloat(line[i:j], 64)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: bad coordinate %q: %w", line[i:j], err)
-		}
-		out = append(out, x)
-		i = j
-	}
-	if len(out) != dim {
-		return nil, fmt.Errorf("dataset: expected %d coordinates, got %d", dim, len(out))
+	out, err := pointtext.AppendPoint(make(vec.Vector, 0, dim), line, dim)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	return out, nil
 }

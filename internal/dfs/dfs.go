@@ -43,6 +43,10 @@ type FS struct {
 	mu        sync.RWMutex
 	files     map[string]*file
 	splitSize int
+	// points caches the decoded float64 form of each file's splits (see
+	// pointcache.go). Guarded by mu; invalidated on Create, Delete and
+	// SetSplitSize.
+	points map[string]*filePoints
 
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
@@ -82,6 +86,7 @@ func (fs *FS) SetSplitSize(size int) {
 	}
 	fs.mu.Lock()
 	fs.splitSize = size
+	fs.invalidateAllPoints() // the split layout of every file changed
 	fs.mu.Unlock()
 }
 
@@ -108,6 +113,7 @@ func (fs *FS) Create(path string, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	fs.files[path] = &file{data: cp}
+	fs.invalidatePoints(path)
 	fs.bytesWritten.Add(int64(len(data)))
 }
 
@@ -141,6 +147,7 @@ func (fs *FS) Delete(path string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	delete(fs.files, path)
+	fs.invalidatePoints(path)
 }
 
 // Exists reports whether path is present.
@@ -242,60 +249,88 @@ func (fs *FS) OpenSplit(sp Split) (*RecordReader, error) {
 	return newRecordReader(fs, f.data, sp), nil
 }
 
-// RecordReader iterates the newline-delimited records of a split using the
+// recordIter walks the newline-delimited records of a split using the
 // Hadoop alignment convention (skip a partial leading record unless the
-// split starts at byte 0; read through the record straddling End).
+// split starts at byte 0; read through the record straddling End). It is
+// the single implementation of the split-ownership rules — RecordReader
+// (text scans) and decodeSplit (the point cache) both consume it, so the
+// two paths cannot diverge on which records a split owns.
+type recordIter struct {
+	data []byte
+	pos  int64
+	end  int64
+	done bool
+}
+
+func newRecordIter(data []byte, sp Split) recordIter {
+	it := recordIter{data: data, pos: sp.Start, end: sp.End}
+	// A stale descriptor can outlive its file's size (the path overwritten
+	// with shorter contents): a window beyond the data owns no records.
+	if sp.Start < 0 || sp.Start >= int64(len(data)) {
+		it.done = true
+		return it
+	}
+	if sp.Start > 0 {
+		// Skip the tail of the record owned by the previous split.
+		idx := bytes.IndexByte(data[sp.Start:], '\n')
+		if idx < 0 {
+			it.done = true
+		} else {
+			it.pos = sp.Start + int64(idx) + 1
+		}
+	}
+	return it
+}
+
+// next returns the next record (without its trailing newline, a view into
+// the file bytes) and true, or (nil, false) once the split is exhausted.
+func (it *recordIter) next() ([]byte, bool) {
+	// Hadoop's LineRecordReader reads every record whose first byte lies at
+	// or before End (inclusive); the matching skip rule in newRecordIter
+	// guarantees each record is owned by exactly one split.
+	if it.done || it.pos > it.end || it.pos >= int64(len(it.data)) {
+		it.done = true
+		return nil, false
+	}
+	idx := bytes.IndexByte(it.data[it.pos:], '\n')
+	var rec []byte
+	if idx < 0 {
+		rec = it.data[it.pos:]
+		it.pos = int64(len(it.data))
+		it.done = true
+	} else {
+		rec = it.data[it.pos : it.pos+int64(idx)]
+		it.pos += int64(idx) + 1
+	}
+	return rec, true
+}
+
+// RecordReader iterates the records of a split as strings.
 //
 // Byte accounting is buffered locally and published to the file system
 // when the reader is exhausted: dozens of concurrent map tasks hammering
 // one atomic counter per record would serialize the map wave.
 type RecordReader struct {
 	fs      *FS
-	data    []byte
-	pos     int64
-	end     int64
-	done    bool
+	it      recordIter
 	pending int64
 }
 
 func newRecordReader(fs *FS, data []byte, sp Split) *RecordReader {
-	r := &RecordReader{fs: fs, data: data, pos: sp.Start, end: sp.End}
-	if sp.Start > 0 {
-		// Skip the tail of the record owned by the previous split.
-		idx := bytes.IndexByte(data[sp.Start:], '\n')
-		if idx < 0 {
-			r.done = true
-		} else {
-			r.pos = sp.Start + int64(idx) + 1
-		}
-	}
-	return r
+	return &RecordReader{fs: fs, it: newRecordIter(data, sp)}
 }
 
 // Next returns the next record (without its trailing newline) and true, or
 // ("", false) when the split is exhausted. Returned strings are copies and
 // remain valid indefinitely.
 func (r *RecordReader) Next() (string, bool) {
-	// Hadoop's LineRecordReader reads every record whose first byte lies at
-	// or before End (inclusive); the matching skip rule in newRecordReader
-	// guarantees each record is owned by exactly one split.
-	if r.done || r.pos > r.end || r.pos >= int64(len(r.data)) {
-		r.done = true
+	rec, ok := r.it.next()
+	if !ok {
 		r.flush()
 		return "", false
 	}
-	idx := bytes.IndexByte(r.data[r.pos:], '\n')
-	var rec []byte
-	if idx < 0 {
-		rec = r.data[r.pos:]
-		r.pos = int64(len(r.data))
-		r.done = true
-	} else {
-		rec = r.data[r.pos : r.pos+int64(idx)]
-		r.pos += int64(idx) + 1
-	}
 	r.pending += int64(len(rec)) + 1
-	if r.done {
+	if r.it.done {
 		r.flush()
 	}
 	return string(rec), true

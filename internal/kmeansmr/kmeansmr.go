@@ -63,8 +63,16 @@ func (e Env) Context() context.Context {
 
 // NearestFunc returns the environment's nearest-center lookup over the
 // given centers: a pruned k-d tree descent when UseKDTree is set, else the
-// exhaustive scan. The third result is the number of distance
-// computations performed, feeding CounterDistances.
+// exhaustive scan. The third result feeds CounterDistances: the kd-tree
+// path reports the descent's actual (pruned) computation count, while the
+// linear path reports the paper's modelled cost of k distances per query —
+// vec.NearestIndex may abandon wide candidates partway (early exit), but
+// the cost model the experiments chart counts full point-center
+// comparisons, not the micro-architectural shortcut.
+//
+// The returned function is safe for concurrent use, so jobs build it once
+// per job (one k-d tree construction per iteration, k·log k) and share it
+// read-only across every map task instead of rebuilding it per split.
 func (e Env) NearestFunc(centers []vec.Vector) func(vec.Vector) (int, float64, int64) {
 	if e.UseKDTree && len(centers) > 1 {
 		tree := kdtree.Build(centers)
@@ -91,20 +99,79 @@ func (e Env) Validate() error {
 	return e.Cluster.Validate()
 }
 
-// assignMapper is the classical k-means mapper: nearest center, emit
-// (centerID, partial sum).
+// assignMapper is the classical k-means mapper with in-mapper combining:
+// it consumes decoded points, folds each into a per-center WeightedPoint
+// accumulator, and emits the ≤k non-empty partial sums in Close. The
+// n-record emit stream of the textbook formulation never exists, so the
+// spill sort only ever sees ≤k keys per task. The accumulation order per
+// (task, center) is input-record order — exactly the order the spill
+// combiner of the emit-per-point formulation folds the same points in —
+// which keeps the refined centers bit-identical to legacyAssignMapper's.
 type assignMapper struct {
+	env     Env
+	centers []vec.Vector
+	nearest func(vec.Vector) (int, float64, int64)
+
+	accs   []vec.WeightedPoint
+	dists  int64
+	points int64
+}
+
+func (m *assignMapper) Setup(*mr.TaskContext) error {
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.centers)
+	}
+	m.accs = make([]vec.WeightedPoint, len(m.centers))
+	return nil
+}
+
+func (m *assignMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) error {
+	best, _, comps := m.nearest(p)
+	m.dists += comps
+	m.points++
+	if best < 0 {
+		// Every distance overflowed to +Inf (finite but astronomically
+		// large coordinates): fail the task with a diagnosis instead of
+		// indexing the accumulator with -1.
+		return fmt.Errorf("kmeansmr: point has no nearest center (all distances non-finite)")
+	}
+	// Merge reads p without retaining it, the same fold the spill combiner
+	// performed — one implementation keeps the bit-identity guarantee in
+	// one place.
+	m.accs[best].Merge(vec.WeightedPoint{Sum: p, Count: 1})
+	return nil
+}
+
+func (m *assignMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
+	ctx.Counter(CounterDistances, m.dists)
+	ctx.Counter(CounterPoints, m.points)
+	for i := range m.accs {
+		if m.accs[i].Count > 0 {
+			emit.Emit(int64(i), mr.WeightedPointValue{WeightedPoint: m.accs[i]})
+		}
+	}
+	return nil
+}
+
+// legacyAssignMapper is the pre-cache formulation of the k-means mapper:
+// parse the text record, emit one (centerID, partial sum) pair per point
+// and leave all combining to the spill combiner. Kept as the baseline of
+// the combiner ablation and the hot-path benchmark (BenchmarkIterationHotPath),
+// and as the no-combiner worst case of the paper's shuffle-cost model.
+type legacyAssignMapper struct {
 	env     Env
 	centers []vec.Vector
 	nearest func(vec.Vector) (int, float64, int64)
 }
 
-func (m *assignMapper) Setup(*mr.TaskContext) error {
-	m.nearest = m.env.NearestFunc(m.centers)
+func (m *legacyAssignMapper) Setup(*mr.TaskContext) error {
+	if m.nearest == nil {
+		m.nearest = m.env.NearestFunc(m.centers)
+	}
 	return nil
 }
 
-func (m *assignMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
+func (m *legacyAssignMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
 	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
 	if err != nil {
 		return err
@@ -116,7 +183,7 @@ func (m *assignMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) 
 	return nil
 }
 
-func (m *assignMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+func (m *legacyAssignMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
 
 // MergeReducer merges WeightedPointValue partial sums; it serves as both
 // combiner and reducer of the classical k-means job.
@@ -154,41 +221,81 @@ type IterationResult struct {
 }
 
 // Iterate runs one classical MR k-means iteration over the dataset,
-// refining the given centers.
+// refining the given centers. It uses the decoded-point fast path with
+// in-mapper combining; results (centers, sizes, app.* counters) are
+// bit-identical to the legacy text-parse path.
 func Iterate(env Env, centers []vec.Vector) (*IterationResult, error) {
-	return iterate(env, centers, "kmeans", true)
+	return iterate(env, centers, "kmeans", modePoints)
 }
 
-// IterateNoCombiner runs one MR k-means iteration with combining disabled,
-// shuffling O(n) coordinate records — the worst case of the paper's cost
-// model. Intended for the combiner ablation benchmark.
+// IterateLegacy runs one MR k-means iteration on the pre-cache hot path:
+// text records re-parsed per pass, one emitted pair per point, combining
+// at spill time. It exists as the baseline of BenchmarkIterationHotPath
+// and the cached-vs-uncached equality tests; production callers use
+// Iterate.
+func IterateLegacy(env Env, centers []vec.Vector, name string) (*IterationResult, error) {
+	if name == "" {
+		name = "kmeans-legacy"
+	}
+	return iterate(env, centers, name, modeLegacyText)
+}
+
+// IterateNoCombiner runs one MR k-means iteration with combining disabled
+// on the legacy text path, shuffling O(n) coordinate records — the worst
+// case of the paper's cost model. Intended for the combiner ablation
+// benchmark.
 func IterateNoCombiner(env Env, centers []vec.Vector, name string) (*IterationResult, error) {
 	if name == "" {
 		name = "kmeans-nocombine"
 	}
-	return iterate(env, centers, name, false)
+	return iterate(env, centers, name, modeNoCombiner)
 }
 
-func iterate(env Env, centers []vec.Vector, name string, combine bool) (*IterationResult, error) {
+// iterateMode selects the hot-path variant of one k-means iteration.
+type iterateMode int
+
+const (
+	// modePoints: decoded-point input, in-mapper combining. The default.
+	modePoints iterateMode = iota
+	// modeLegacyText: text input, emit per point, spill combiner.
+	modeLegacyText
+	// modeNoCombiner: text input, emit per point, no combining at all.
+	modeNoCombiner
+)
+
+func iterate(env Env, centers []vec.Vector, name string, mode iterateMode) (*IterationResult, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if len(centers) == 0 {
 		return nil, fmt.Errorf("kmeansmr: no centers to refine")
 	}
+	// One nearest-center structure per job, shared read-only by all tasks.
+	nearest := env.NearestFunc(centers)
 	job := &mr.Job{
-		Name:    name,
-		FS:      env.FS,
-		Cluster: env.Cluster,
-		Input:   []string{env.Input},
-		Ctx:     env.Ctx,
-		NewMapper: func() mr.Mapper {
-			return &assignMapper{env: env, centers: centers}
-		},
+		Name:       name,
+		FS:         env.FS,
+		Cluster:    env.Cluster,
+		Input:      []string{env.Input},
+		Ctx:        env.Ctx,
 		NewReducer: func() mr.Reducer { return MergeReducer{} },
 	}
-	if combine {
+	switch mode {
+	case modePoints:
+		job.PointDim = env.Dim
+		job.NewPointMapper = func() mr.PointMapper {
+			return &assignMapper{env: env, centers: centers, nearest: nearest}
+		}
 		job.NewCombiner = func() mr.Reducer { return MergeReducer{} }
+	case modeLegacyText:
+		job.NewMapper = func() mr.Mapper {
+			return &legacyAssignMapper{env: env, centers: centers, nearest: nearest}
+		}
+		job.NewCombiner = func() mr.Reducer { return MergeReducer{} }
+	case modeNoCombiner:
+		job.NewMapper = func() mr.Mapper {
+			return &legacyAssignMapper{env: env, centers: centers, nearest: nearest}
+		}
 	}
 	res, err := job.Run()
 	if err != nil {
@@ -228,7 +335,10 @@ func SamplePoints(env Env, n int, seed int64) ([]vec.Vector, error) {
 }
 
 // SampleUpTo draws up to n points uniformly from the dataset by reservoir
-// sampling; smaller datasets yield every point.
+// sampling; smaller datasets yield every point. The scan runs over the
+// decoded-split cache (accounting one dataset read and the full byte
+// volume, like any other scan) and also warms that cache for the jobs
+// that follow.
 func SampleUpTo(env Env, n int, seed int64) ([]vec.Vector, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
@@ -242,19 +352,12 @@ func SampleUpTo(env Env, n int, seed int64) ([]vec.Vector, error) {
 	env.FS.CountDatasetRead()
 	seen := 0
 	for _, sp := range splits {
-		rd, err := env.FS.OpenSplit(sp)
+		ps, err := env.FS.OpenSplitPoints(sp, env.Dim)
 		if err != nil {
 			return nil, err
 		}
-		for {
-			line, ok := rd.Next()
-			if !ok {
-				break
-			}
-			p, err := dataset.ParsePointDim(line, env.Dim)
-			if err != nil {
-				return nil, err
-			}
+		for i := 0; i < ps.Len(); i++ {
+			p := ps.At(i)
 			seen++
 			if len(reservoir) < n {
 				reservoir = append(reservoir, p)
@@ -263,5 +366,7 @@ func SampleUpTo(env Env, n int, seed int64) ([]vec.Vector, error) {
 			}
 		}
 	}
-	return reservoir, nil
+	// The reservoir holds read-only views into the cache; hand callers
+	// their own copies, since samples become centers that get refined.
+	return vec.CloneAll(reservoir), nil
 }

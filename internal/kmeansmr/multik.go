@@ -7,7 +7,6 @@ import (
 	"sort"
 	"time"
 
-	"gmeansmr/internal/dataset"
 	"gmeansmr/internal/lloyd"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/vec"
@@ -93,43 +92,72 @@ func (r *MultiResult) AvgIterationTime() time.Duration {
 	return total / time.Duration(len(r.IterationTimes))
 }
 
-// multiMapper is the paper's Algorithm 6: for every candidate k, assign the
-// point under that k's center set and emit a partial sum keyed by (k,
-// centerID). The per-point work is Σ_k k distance computations — the
-// O(n·k²) term of the cost analysis.
+// multiMapper is the paper's Algorithm 6 with in-mapper combining: for
+// every candidate k, assign each decoded point under that k's center set
+// and fold it into the (k, centerID) accumulator, emitting the Σ_k k
+// partial sums in Close. The per-point work is Σ_k k distance
+// computations — the O(n·k²) term of the cost analysis — but the shuffle
+// and spill sort only ever see Σ_k k records per task instead of n·|ks|.
 type multiMapper struct {
 	env        Env
 	centerSets map[int][]vec.Vector
 	ks         []int
-	nearest    map[int]func(vec.Vector) (int, float64, int64)
+	// nearest is built once per job and shared read-only by all tasks.
+	nearest map[int]func(vec.Vector) (int, float64, int64)
+
+	accs   map[int][]vec.WeightedPoint
+	dists  int64
+	points int64
 }
 
 func (m *multiMapper) Setup(*mr.TaskContext) error {
-	m.nearest = make(map[int]func(vec.Vector) (int, float64, int64), len(m.ks))
+	if m.nearest == nil {
+		m.nearest = buildNearestByK(m.env, m.centerSets, m.ks)
+	}
+	m.accs = make(map[int][]vec.WeightedPoint, len(m.ks))
 	for _, k := range m.ks {
-		m.nearest[k] = m.env.NearestFunc(m.centerSets[k])
+		m.accs[k] = make([]vec.WeightedPoint, len(m.centerSets[k]))
 	}
 	return nil
 }
 
-func (m *multiMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
-	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
-	if err != nil {
-		return err
-	}
-	var distances int64
-	wp := mr.OwnWeightedPointValue(p) // shared across all k: reducers never mutate values
+func (m *multiMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) error {
 	for _, k := range m.ks {
 		best, _, comps := m.nearest[k](p)
-		distances += comps
-		emit.Emit(int64(k)*KeyStride+int64(best), wp)
+		m.dists += comps
+		if best < 0 {
+			return fmt.Errorf("kmeansmr: point has no nearest center for k=%d (all distances non-finite)", k)
+		}
+		m.accs[k][best].Merge(vec.WeightedPoint{Sum: p, Count: 1})
 	}
-	ctx.Counter(CounterDistances, distances)
-	ctx.Counter(CounterPoints, 1)
+	m.points++
 	return nil
 }
 
-func (m *multiMapper) Close(*mr.TaskContext, mr.Emitter) error { return nil }
+func (m *multiMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
+	ctx.Counter(CounterDistances, m.dists)
+	ctx.Counter(CounterPoints, m.points)
+	for _, k := range m.ks {
+		accs := m.accs[k]
+		for cid := range accs {
+			if accs[cid].Count > 0 {
+				emit.Emit(int64(k)*KeyStride+int64(cid), mr.WeightedPointValue{WeightedPoint: accs[cid]})
+			}
+		}
+	}
+	return nil
+}
+
+// buildNearestByK constructs the per-k nearest-center lookups once so a
+// job's map wave shares them instead of rebuilding (k-d trees included)
+// per split.
+func buildNearestByK(env Env, centerSets map[int][]vec.Vector, ks []int) map[int]func(vec.Vector) (int, float64, int64) {
+	nearest := make(map[int]func(vec.Vector) (int, float64, int64), len(ks))
+	for _, k := range ks {
+		nearest[k] = env.NearestFunc(centerSets[k])
+	}
+	return nearest
+}
 
 // RunMulti executes the full multi-k-means pipeline: random shared seeding,
 // cfg.Iterations chained jobs, and returns the per-k center sets. Call
@@ -167,14 +195,16 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if err := cfg.Context().Err(); err != nil {
 			return nil, err
 		}
+		nearest := buildNearestByK(cfg.Env, centerSets, ks)
 		job := &mr.Job{
-			Name:    fmt.Sprintf("multi-k-means-iter-%d", it),
-			FS:      cfg.FS,
-			Cluster: cfg.Cluster,
-			Input:   []string{cfg.Input},
-			Ctx:     cfg.Ctx,
-			NewMapper: func() mr.Mapper {
-				return &multiMapper{env: cfg.Env, centerSets: centerSets, ks: ks}
+			Name:     fmt.Sprintf("multi-k-means-iter-%d", it),
+			FS:       cfg.FS,
+			Cluster:  cfg.Cluster,
+			Input:    []string{cfg.Input},
+			Ctx:      cfg.Ctx,
+			PointDim: cfg.Dim,
+			NewPointMapper: func() mr.PointMapper {
+				return &multiMapper{env: cfg.Env, centerSets: centerSets, ks: ks, nearest: nearest}
 			},
 			NewCombiner: func() mr.Reducer { return MergeReducer{} },
 			NewReducer:  func() mr.Reducer { return MergeReducer{} },
@@ -254,12 +284,14 @@ type evalValue struct {
 func (evalValue) ByteSize() int { return 24 }
 
 // evalMapper scores every candidate k in one pass with in-mapper combining:
-// it keeps one accumulator per k and flushes them in Close.
+// it keeps one accumulator per k, fed from decoded points, and flushes
+// them in Close.
 type evalMapper struct {
 	env        Env
 	centerSets map[int][]vec.Vector
 	ks         []int
 	acc        map[int]*evalValue
+	dists      int64
 }
 
 func (m *evalMapper) Setup(*mr.TaskContext) error {
@@ -270,26 +302,21 @@ func (m *evalMapper) Setup(*mr.TaskContext) error {
 	return nil
 }
 
-func (m *evalMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
-	p, err := dataset.ParsePointDim(rec.Line, m.env.Dim)
-	if err != nil {
-		return err
-	}
-	var distances int64
+func (m *evalMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) error {
 	for _, k := range m.ks {
 		centers := m.centerSets[k]
 		_, d2 := vec.NearestIndex(p, centers)
-		distances += int64(len(centers))
+		m.dists += int64(len(centers))
 		a := m.acc[k]
 		a.SumD2 += d2
 		a.SumD += math.Sqrt(d2)
 		a.Count++
 	}
-	ctx.Counter(CounterDistances, distances)
 	return nil
 }
 
-func (m *evalMapper) Close(_ *mr.TaskContext, emit mr.Emitter) error {
+func (m *evalMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
+	ctx.Counter(CounterDistances, m.dists)
 	for _, k := range m.ks {
 		emit.Emit(int64(k), *m.acc[k])
 	}
@@ -329,12 +356,13 @@ func Evaluate(cfg MultiConfig, res *MultiResult) error {
 	}
 	sort.Ints(ks)
 	job := &mr.Job{
-		Name:    "multi-k-means-evaluate",
-		FS:      cfg.FS,
-		Cluster: cfg.Cluster,
-		Input:   []string{cfg.Input},
-		Ctx:     cfg.Ctx,
-		NewMapper: func() mr.Mapper {
+		Name:     "multi-k-means-evaluate",
+		FS:       cfg.FS,
+		Cluster:  cfg.Cluster,
+		Input:    []string{cfg.Input},
+		Ctx:      cfg.Ctx,
+		PointDim: cfg.Dim,
+		NewPointMapper: func() mr.PointMapper {
 			return &evalMapper{env: cfg.Env, centerSets: res.CentersByK, ks: ks}
 		},
 		NewCombiner: func() mr.Reducer { return evalReducer{} },

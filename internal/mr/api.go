@@ -41,8 +41,28 @@ type Reducer interface {
 	Close(ctx *TaskContext, emit Emitter) error
 }
 
+// PointMapper is the decoded-input fast path of Mapper: instead of text
+// records, the engine feeds the task the cached float64 points of its
+// split (see dfs.OpenSplitPoints), so the per-record ParseFloat work of
+// the classic path happens at most once per split per job chain. The
+// point slice is a read-only view into the shared decode cache: mappers
+// must not modify it, but may retain it (e.g. inside emitted values) —
+// the backing array is immutable.
+type PointMapper interface {
+	// Setup runs once before the first point of the task.
+	Setup(ctx *TaskContext) error
+	// MapPoint processes one decoded point.
+	MapPoint(ctx *TaskContext, p []float64, emit Emitter) error
+	// Close runs after the last point and may emit trailing pairs —
+	// in-mapper combining mappers emit their accumulators here.
+	Close(ctx *TaskContext, emit Emitter) error
+}
+
 // MapperFactory builds one Mapper per map task.
 type MapperFactory func() Mapper
+
+// PointMapperFactory builds one PointMapper per map task.
+type PointMapperFactory func() PointMapper
 
 // ReducerFactory builds one Reducer per reduce (or combine) task.
 type ReducerFactory func() Reducer

@@ -1,14 +1,20 @@
 package mr
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
 	"gmeansmr/internal/dfs"
 )
+
+// byKey orders KV pairs by key for the engine's sort sites. Stable sorts
+// with this comparator preserve emission order within a key, which is what
+// makes the shuffle deterministic.
+func byKey(a, b KV) int { return cmp.Compare(a.Key, b.Key) }
 
 // Job describes one MapReduce job: where the input lives, how to map,
 // combine and reduce it, and which cluster executes it. Zero-value optional
@@ -23,7 +29,16 @@ type Job struct {
 	// splits; one map task runs per split.
 	Input []string
 
-	NewMapper   MapperFactory
+	// Exactly one of NewMapper and NewPointMapper must be set. NewMapper
+	// feeds text records (Hadoop's TextInputFormat shape); NewPointMapper
+	// selects the decoded-point fast path, which serves each split's
+	// points from the DFS decode cache and requires PointDim.
+	NewMapper      MapperFactory
+	NewPointMapper PointMapperFactory
+	// PointDim is the point dimensionality of the input files; required
+	// with NewPointMapper (every record must decode to exactly PointDim
+	// coordinates).
+	PointDim    int
 	NewCombiner ReducerFactory // optional; nil disables combining
 	NewReducer  ReducerFactory
 
@@ -61,7 +76,7 @@ type Result struct {
 func (r *Result) SortedOutput() []KV {
 	out := make([]KV, len(r.Output))
 	copy(out, r.Output)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortStableFunc(out, byKey)
 	return out
 }
 
@@ -142,8 +157,12 @@ func (j *Job) validate() error {
 		return fmt.Errorf("mr: job %q: nil FS", j.Name)
 	case len(j.Input) == 0:
 		return fmt.Errorf("mr: job %q: no input", j.Name)
-	case j.NewMapper == nil:
+	case j.NewMapper == nil && j.NewPointMapper == nil:
 		return fmt.Errorf("mr: job %q: nil mapper factory", j.Name)
+	case j.NewMapper != nil && j.NewPointMapper != nil:
+		return fmt.Errorf("mr: job %q: both NewMapper and NewPointMapper set", j.Name)
+	case j.NewPointMapper != nil && j.PointDim <= 0:
+		return fmt.Errorf("mr: job %q: NewPointMapper requires a positive PointDim, got %d", j.Name, j.PointDim)
 	case j.NewReducer == nil:
 		return fmt.Errorf("mr: job %q: nil reducer factory", j.Name)
 	}
@@ -225,29 +244,9 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 		counters:   counters,
 		heapBudget: j.Cluster.TaskHeapBytes,
 	}
-	mapper := j.NewMapper()
-	if err := mapper.Setup(ctx); err != nil {
-		return nil, &TaskError{Job: j.Name, Kind: MapTask, TaskID: taskID, Err: err}
-	}
 	em := &emitter{}
-	reader, err := j.FS.OpenSplit(sp)
+	records, err := j.mapSplit(ctx, sp, em)
 	if err != nil {
-		return nil, &TaskError{Job: j.Name, Kind: MapTask, TaskID: taskID, Err: err}
-	}
-	var offset int64 = sp.Start
-	var records int64
-	for {
-		line, ok := reader.Next()
-		if !ok {
-			break
-		}
-		records++
-		if err := mapper.Map(ctx, Record{Offset: offset, Line: line}, em); err != nil {
-			return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
-		}
-		offset += int64(len(line)) + 1
-	}
-	if err := mapper.Close(ctx, em); err != nil {
 		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
 	}
 
@@ -266,7 +265,7 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 		parts[p] = append(parts[p], kv)
 	}
 	for p := range parts {
-		sort.SliceStable(parts[p], func(a, b int) bool { return parts[p][a].Key < parts[p][b].Key })
+		slices.SortStableFunc(parts[p], byKey)
 		if j.NewCombiner != nil && len(parts[p]) > 0 {
 			combined, err := j.combineRun(ctx, taskID, parts[p], counters)
 			if err != nil {
@@ -284,6 +283,51 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 	}
 	ctx.flushCounters()
 	return parts, nil
+}
+
+// mapSplit feeds one split through a fresh mapper instance — decoded
+// points on the fast path, text records otherwise — and returns the input
+// record count.
+func (j *Job) mapSplit(ctx *TaskContext, sp dfs.Split, em Emitter) (int64, error) {
+	if j.NewPointMapper != nil {
+		mapper := j.NewPointMapper()
+		if err := mapper.Setup(ctx); err != nil {
+			return 0, err
+		}
+		ps, err := j.FS.OpenSplitPoints(sp, j.PointDim)
+		if err != nil {
+			return 0, err
+		}
+		n := ps.Len()
+		for i := 0; i < n; i++ {
+			if err := mapper.MapPoint(ctx, ps.At(i), em); err != nil {
+				return 0, err
+			}
+		}
+		return int64(n), mapper.Close(ctx, em)
+	}
+	mapper := j.NewMapper()
+	if err := mapper.Setup(ctx); err != nil {
+		return 0, err
+	}
+	reader, err := j.FS.OpenSplit(sp)
+	if err != nil {
+		return 0, err
+	}
+	var offset int64 = sp.Start
+	var records int64
+	for {
+		line, ok := reader.Next()
+		if !ok {
+			break
+		}
+		records++
+		if err := mapper.Map(ctx, Record{Offset: offset, Line: line}, em); err != nil {
+			return 0, err
+		}
+		offset += int64(len(line)) + 1
+	}
+	return records, mapper.Close(ctx, em)
 }
 
 // combineRun applies the combiner to one sorted run and returns the
@@ -315,7 +359,7 @@ func (j *Job) combineRun(ctx *TaskContext, taskID int, run []KV, counters *Count
 		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
 	}
 	ctx.Counter(CounterCombineOutput, int64(len(out.buf)))
-	sort.SliceStable(out.buf, func(a, b int) bool { return out.buf[a].Key < out.buf[b].Key })
+	slices.SortStableFunc(out.buf, byKey)
 	return out.buf, nil
 }
 
@@ -406,7 +450,7 @@ func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error
 	for _, run := range runs {
 		merged = append(merged, run...)
 	}
-	sort.SliceStable(merged, func(a, b int) bool { return merged[a].Key < merged[b].Key })
+	slices.SortStableFunc(merged, byKey)
 
 	reducer := j.NewReducer()
 	if err := reducer.Setup(ctx); err != nil {

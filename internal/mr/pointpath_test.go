@@ -1,0 +1,116 @@
+package mr
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gmeansmr/internal/dfs"
+)
+
+// sumPointMapper accumulates per-dimension sums in-mapper and emits one
+// value per dimension at Close — the canonical shape of the decoded fast
+// path.
+type sumPointMapper struct {
+	sums []float64
+}
+
+func (m *sumPointMapper) Setup(*TaskContext) error { return nil }
+
+func (m *sumPointMapper) MapPoint(_ *TaskContext, p []float64, _ Emitter) error {
+	if m.sums == nil {
+		m.sums = make([]float64, len(p))
+	}
+	for d, x := range p {
+		m.sums[d] += x
+	}
+	return nil
+}
+
+func (m *sumPointMapper) Close(_ *TaskContext, emit Emitter) error {
+	for d, s := range m.sums {
+		emit.Emit(int64(d), Float64Value(s))
+	}
+	return nil
+}
+
+func sumReducer() Reducer {
+	return ReducerFunc(func(_ *TaskContext, key int64, values []Value, emit Emitter) error {
+		var s float64
+		for _, v := range values {
+			s += float64(v.(Float64Value))
+		}
+		emit.Emit(key, Float64Value(s))
+		return nil
+	})
+}
+
+func pointPathJob(fs *dfs.FS, dim int) *Job {
+	return &Job{
+		Name:           "point-sum",
+		FS:             fs,
+		Cluster:        Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, TaskHeapBytes: 1 << 20, MaxHeapUsage: 1},
+		Input:          []string{"/pts"},
+		PointDim:       dim,
+		NewPointMapper: func() PointMapper { return &sumPointMapper{} },
+		NewReducer:     func() Reducer { return sumReducer() },
+	}
+}
+
+func TestPointMapperFastPath(t *testing.T) {
+	fs := dfs.New(64) // several splits
+	var b strings.Builder
+	want := []float64{0, 0}
+	for i := 0; i < 100; i++ {
+		x, y := float64(i), float64(2*i)
+		want[0] += x
+		want[1] += y
+		b.WriteString(dfsFormat(x, y))
+	}
+	fs.Create("/pts", []byte(b.String()))
+
+	res, err := pointPathJob(fs, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]float64{}
+	for _, kv := range res.Output {
+		got[kv.Key] = float64(kv.Value.(Float64Value))
+	}
+	for d := range want {
+		if got[int64(d)] != want[d] {
+			t.Errorf("dim %d: sum %v, want %v", d, got[int64(d)], want[d])
+		}
+	}
+	// Input-record accounting must count points.
+	if n := res.Counters.Get(CounterMapInputRecords); n != 100 {
+		t.Errorf("map input records = %d, want 100", n)
+	}
+}
+
+func TestPointMapperValidation(t *testing.T) {
+	fs := dfs.New(0)
+	fs.Create("/pts", []byte("1 2\n"))
+
+	noDim := pointPathJob(fs, 0)
+	if _, err := noDim.Run(); err == nil {
+		t.Error("PointDim=0 accepted with NewPointMapper")
+	}
+
+	both := pointPathJob(fs, 2)
+	both.NewMapper = func() Mapper {
+		return MapperFunc(func(*TaskContext, Record, Emitter) error { return nil })
+	}
+	if _, err := both.Run(); err == nil {
+		t.Error("both mapper factories accepted")
+	}
+
+	badDim := pointPathJob(fs, 3) // records have 2 coordinates
+	if _, err := badDim.Run(); err == nil {
+		t.Error("dimension mismatch did not fail the job")
+	}
+}
+
+func dfsFormat(x, y float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) + " " + strconv.FormatFloat(y, 'g', -1, 64) + "\n"
+}

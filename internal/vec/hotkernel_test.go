@@ -1,0 +1,163 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dist2Reference is the classic sequential formulation Dist2 replaced. It
+// is the semantic reference: the unrolled kernel must agree with it to
+// floating-point reassociation tolerance everywhere, and bit-exactly for
+// dim < 4 (where only the tail loop runs).
+func dist2Reference(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// dist2Lanes mirrors Dist2's documented lane structure independently; the
+// two must agree bit-for-bit on every input, which pins the kernel's
+// summation order (the property dist2Below relies on).
+func dist2Lanes(a, b Vector) float64 {
+	var s [4]float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		for l := 0; l < 4; l++ {
+			d := a[i+l] - b[i+l]
+			s[l] += d * d
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s[0] += d * d
+	}
+	return (s[0] + s[1]) + (s[2] + s[3])
+}
+
+func randomVec(rng *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 100
+	}
+	return v
+}
+
+func TestDist2UnrolledBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 10, 16, 33} {
+		for trial := 0; trial < 200; trial++ {
+			a, b := randomVec(rng, dim), randomVec(rng, dim)
+			got := Dist2(a, b)
+			if lanes := dist2Lanes(a, b); got != lanes {
+				t.Fatalf("dim %d: Dist2 %v != lane reference %v", dim, got, lanes)
+			}
+			ref := dist2Reference(a, b)
+			if dim < 4 && got != ref {
+				t.Fatalf("dim %d: Dist2 %v != sequential %v (must be bit-identical below the unroll width)", dim, got, ref)
+			}
+			if diff := math.Abs(got - ref); diff > 1e-9*(1+ref) {
+				t.Fatalf("dim %d: Dist2 %v vs sequential %v (diff %v beyond reassociation tolerance)", dim, got, ref, diff)
+			}
+		}
+	}
+}
+
+// TestNearestIndexEarlyExitBitIdentity is the safety proof of the
+// early-exit scan: index and distance must be bit-identical to the
+// exhaustive scan on every input, including exact ties (which must keep
+// resolving to the lowest index).
+func TestNearestIndexEarlyExitBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range []int{2, 3, 10, 17} {
+		centers := make([]Vector, 50)
+		for i := range centers {
+			centers[i] = randomVec(rng, dim)
+		}
+		// Exact duplicate centers exercise tie-breaking.
+		centers[20] = Clone(centers[3])
+		for trial := 0; trial < 500; trial++ {
+			p := randomVec(rng, dim)
+			if trial%10 == 0 {
+				p = Clone(centers[trial%len(centers)]) // zero-distance queries
+			}
+			gi, gd := NearestIndex(p, centers)
+			wi, wd := nearestIndexFull(p, centers)
+			if gi != wi || gd != wd {
+				t.Fatalf("dim %d: early-exit (%d, %v) != full (%d, %v)", dim, gi, gd, wi, wd)
+			}
+		}
+	}
+	// Empty center set.
+	if i, d := NearestIndex(Vector{1}, nil); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty centers: got (%d, %v)", i, d)
+	}
+}
+
+func BenchmarkDist2(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range []int{2, 10, 64} {
+		x, y := randomVec(rng, dim), randomVec(rng, dim)
+		b.Run(itoa(dim), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Dist2(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkNearestIndexEarlyExit measures the early-exit scan against the
+// exhaustive reference on the shape the k-means hot loop sees (many
+// centers, wide vectors). "tight" is the steady state of a converging
+// k-means run — points sit close to one center, so the best-so-far bound
+// gets small early and most candidates die at the first checkpoint;
+// "diffuse" is the adversarial regime where distances concentrate and the
+// bound almost never prunes, bounding the overhead of the checks.
+func BenchmarkNearestIndexEarlyExit(b *testing.B) {
+	const dim, k = 32, 128
+	for _, tc := range []struct {
+		name  string
+		noise float64
+	}{{"tight", 1}, {"diffuse", 100}} {
+		rng := rand.New(rand.NewSource(4))
+		centers := make([]Vector, k)
+		for i := range centers {
+			centers[i] = randomVec(rng, dim)
+		}
+		queries := make([]Vector, 256)
+		for i := range queries {
+			noise := make(Vector, dim)
+			for d := range noise {
+				noise[d] = rng.NormFloat64() * tc.noise
+			}
+			queries[i] = Add(centers[i%k], noise)
+		}
+		b.Run(tc.name+"/early-exit", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NearestIndex(queries[i%len(queries)], centers)
+			}
+		})
+		b.Run(tc.name+"/full-scan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nearestIndexFull(queries[i%len(queries)], centers)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "dim=0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return "dim=" + string(digits)
+}

@@ -65,15 +65,32 @@ func Norm(v Vector) float64 { return math.Sqrt(Norm2(v)) }
 // Dist2 returns the squared Euclidean distance between a and b.
 //
 // This is the inner loop of every k-means variant in the repository; it is
-// deliberately branch-free and allocation-free.
+// deliberately branch-free and allocation-free, and unrolled over four
+// independent accumulator lanes so the FP additions pipeline instead of
+// serializing on one dependency chain. The lane sums combine as
+// (s0+s1)+(s2+s3); dist2Partial below mirrors the exact same lane
+// structure so early-exit scans stay bit-identical to the full
+// computation. For dim < 4 the tail loop alone runs and the result is
+// bit-identical to the classic sequential sum.
 func Dist2(a, b Vector) float64 {
 	assertSameDim(a, b)
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Dist returns the Euclidean distance between a and b.
@@ -185,7 +202,36 @@ func Project(p, d Vector) float64 {
 // Euclidean distance, together with that squared distance. Ties resolve to
 // the lowest index, which keeps the assignment deterministic. It returns
 // (-1, +Inf) when centers is empty.
+//
+// For wide vectors (≥ earlyExitMinDim) the scan early-exits: once a
+// candidate's partial sum of squares reaches the best distance so far,
+// the remaining dimensions cannot make it strictly closer (squared terms
+// are non-negative and IEEE 754 addition of non-negative values is
+// monotone), so the candidate is abandoned. Below that width the bound
+// checks cost more than the arithmetic they save, so the plain unrolled
+// scan runs. Results — index and distance — are bit-identical to the
+// exhaustive scan (nearestIndexFull) either way, which the vec tests
+// assert.
 func NearestIndex(p Vector, centers []Vector) (int, float64) {
+	if len(p) < earlyExitMinDim {
+		return nearestIndexFull(p, centers)
+	}
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centers {
+		if d, closer := dist2Below(p, c, bestD); closer {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// earlyExitMinDim is the vector width from which the early-exit scan pays
+// for its bound checks (one check per 16-dimension chunk in dist2Below).
+const earlyExitMinDim = 16
+
+// nearestIndexFull is the exhaustive-scan reference for NearestIndex,
+// kept for the bit-identity tests and the early-exit benchmark.
+func nearestIndexFull(p Vector, centers []Vector) (int, float64) {
 	best, bestD := -1, math.Inf(1)
 	for i, c := range centers {
 		if d := Dist2(p, c); d < bestD {
@@ -193,6 +239,52 @@ func NearestIndex(p Vector, centers []Vector) (int, float64) {
 		}
 	}
 	return best, bestD
+}
+
+// dist2Below computes Dist2(a, b) with an early exit: it returns
+// (distance, true) when the full distance is strictly below bound, and
+// (partial, false) as soon as the running sum proves it cannot be. The
+// lane structure and final (s0+s1)+(s2+s3) combine replicate Dist2
+// exactly, so a returned distance is bit-identical to Dist2's.
+func dist2Below(a, b Vector, bound float64) (float64, bool) {
+	assertSameDim(a, b)
+	var s0, s1, s2, s3 float64
+	i := 0
+	// Chunks of 16 dimensions: four unrolled blocks of straight-line code,
+	// then one bound check. Lane sums only grow (non-negative addends,
+	// monotone rounding), so once their combination reaches the bound the
+	// candidate is dead regardless of the remaining dimensions.
+	for ; i+16 <= len(a); i += 16 {
+		for j := i; j < i+16; j += 4 {
+			d0 := a[j] - b[j]
+			d1 := a[j+1] - b[j+1]
+			d2 := a[j+2] - b[j+2]
+			d3 := a[j+3] - b[j+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		if cur := (s0 + s1) + (s2 + s3); cur >= bound {
+			return cur, false
+		}
+	}
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	d := (s0 + s1) + (s2 + s3)
+	return d, d < bound
 }
 
 // WeightedPoint is a running sum of points together with the number of
