@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON artifact, so CI can accumulate a perf trajectory
+// (one BENCH.json per push) instead of burying the numbers in log text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson -o BENCH.json
+//
+// Each benchmark line becomes one record with the benchmark name, ns/op,
+// and — when present — B/op, allocs/op and every custom ReportMetric unit
+// (k_found, shuffle_bytes, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark results to %s\n", len(results), *out)
+}
+
+// parse extracts every benchmark result line from go test -bench output.
+// Non-benchmark lines (package headers, PASS/ok, metric-free output) are
+// skipped; a malformed benchmark line is an error rather than a silent
+// hole in the perf history.
+func parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	results := []Result{}
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name iterations value unit [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				v := val
+				res.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: gmeansmr
+cpu: Intel(R) Xeon(R) CPU @ 2.60GHz
+BenchmarkColdScan/text-parse-2         	       3	 141941870 ns/op	  18181891 file_bytes	    100000 points	47166162 B/op	  100079 allocs/op
+BenchmarkReduceMerge/kway-heap-2       	       3	   2314039 ns/op	        64.00 runs
+BenchmarkFig1CenterEvolution-2   	       1	 512000000 ns/op	        10.0 k_found	         4.00 iterations
+PASS
+ok  	gmeansmr	1.528s
+`
+	results, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	cold := results[0]
+	if cold.Name != "BenchmarkColdScan/text-parse-2" || cold.Iterations != 3 {
+		t.Errorf("first result = %+v", cold)
+	}
+	if cold.NsPerOp != 141941870 {
+		t.Errorf("ns/op = %v", cold.NsPerOp)
+	}
+	if cold.AllocsPerOp == nil || *cold.AllocsPerOp != 100079 {
+		t.Errorf("allocs/op = %v", cold.AllocsPerOp)
+	}
+	if cold.BytesPerOp == nil || *cold.BytesPerOp != 47166162 {
+		t.Errorf("B/op = %v", cold.BytesPerOp)
+	}
+	if cold.Metrics["points"] != 100000 || cold.Metrics["file_bytes"] != 18181891 {
+		t.Errorf("metrics = %v", cold.Metrics)
+	}
+
+	merge := results[1]
+	if merge.Metrics["runs"] != 64 || merge.BytesPerOp != nil {
+		t.Errorf("second result = %+v", merge)
+	}
+
+	fig1 := results[2]
+	if fig1.Metrics["k_found"] != 10 || fig1.Metrics["iterations"] != 4 {
+		t.Errorf("third result = %+v", fig1)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 3 12", // dangling value without unit
+		"BenchmarkX notanint 1 ns/op",
+		"BenchmarkX 3 oops ns/op",
+	} {
+		if _, err := parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("parse accepted %q", bad)
+		}
+	}
+}
+
+func TestParseEmptyInputYieldsEmptyList(t *testing.T) {
+	results, err := parse(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Errorf("results = %#v, want empty non-nil slice", results)
+	}
+}

@@ -1,11 +1,14 @@
 // Command datagen generates the synthetic Gaussian-mixture datasets used
 // throughout the paper's evaluation and writes them as text files (one
-// point per line, space-separated coordinates).
+// point per line, space-separated coordinates) or, with -format binary,
+// as binary point files (dim-carrying header + fixed-stride little-endian
+// float64 frames) that the engine ingests without any text parsing.
 //
 // Usage:
 //
 //	datagen -k 100 -dim 10 -n 1000000 -o d100.txt
 //	datagen -k 10 -dim 2 -n 10000 -sep 18 -stddev 2 -o fig1.txt
+//	datagen -k 100 -dim 10 -n 1000000 -format binary -o d100.gmpb
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
 )
 
 func main() {
@@ -30,10 +34,14 @@ func main() {
 		stddev = flag.Float64("stddev", 1, "per-coordinate standard deviation of each cluster")
 		sep    = flag.Float64("sep", 0, "minimum pairwise center separation (0 = none)")
 		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "text", "point record format: text or binary")
 		out    = flag.String("o", "", "output file (default: stdout)")
 		truth  = flag.String("truth", "", "optional file receiving the true centers")
 	)
 	flag.Parse()
+	if *format != "text" && *format != "binary" {
+		log.Fatalf("unknown -format %q (want text or binary)", *format)
+	}
 
 	ds, err := dataset.Generate(dataset.Spec{
 		K: *k, Dim: *dim, N: *n,
@@ -54,9 +62,18 @@ func main() {
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	for _, p := range ds.Points {
-		w.WriteString(dataset.FormatPoint(p))
-		w.WriteByte('\n')
+	if *format == "binary" {
+		w.Write(dfs.BinaryHeader(*dim))
+		frame := make([]byte, 0, *dim*8)
+		for _, p := range ds.Points {
+			frame = dfs.AppendBinaryPoint(frame[:0], p)
+			w.Write(frame)
+		}
+	} else {
+		for _, p := range ds.Points {
+			w.WriteString(dataset.FormatPoint(p))
+			w.WriteByte('\n')
+		}
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)

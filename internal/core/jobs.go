@@ -19,6 +19,12 @@ const (
 	CounterProjections = "app.projections"
 )
 
+// Interned forms for the per-record/per-test ticks below.
+var (
+	counterIDADTests     = mr.InternCounter(CounterADTests)
+	counterIDProjections = mr.InternCounter(CounterProjections)
+)
+
 // ---------------------------------------------------------------------------
 // KMeansAndFindNewCenters (paper Algorithm 2)
 // ---------------------------------------------------------------------------
@@ -69,8 +75,8 @@ func (m *kfncMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, emit mr.Emitter) 
 }
 
 func (m *kfncMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
-	ctx.Counter(kmeansmr.CounterDistances, m.dists)
-	ctx.Counter(kmeansmr.CounterPoints, m.points)
+	ctx.Count(kmeansmr.CounterIDDistances, m.dists)
+	ctx.Count(kmeansmr.CounterIDPoints, m.points)
 	for i := range m.accs {
 		if m.accs[i].Count > 0 {
 			emit.Emit(int64(i), mr.WeightedPointValue{WeightedPoint: m.accs[i]})
@@ -97,8 +103,8 @@ func (m *legacyKFNCMapper) Setup(*mr.TaskContext) error {
 
 func (m *legacyKFNCMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
-	ctx.Counter(kmeansmr.CounterDistances, comps)
-	ctx.Counter(kmeansmr.CounterPoints, 1)
+	ctx.Count(kmeansmr.CounterIDDistances, comps)
+	ctx.Count(kmeansmr.CounterIDPoints, 1)
 	// Both values share the cached vector: the k-means reduction only
 	// accumulates into its own sums and the candidate path re-emits
 	// values verbatim, so no copy is needed.
@@ -245,13 +251,13 @@ func (m *testMapper) Setup(*mr.TaskContext) error {
 
 func (m *testMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
-	ctx.Counter(kmeansmr.CounterDistances, comps)
+	ctx.Count(kmeansmr.CounterIDDistances, comps)
 	if best < m.foundCount {
 		return nil // point belongs to a cluster already accepted as Gaussian
 	}
 	i := best - m.foundCount
 	proj := vec.Project(p, m.vectors[i])
-	ctx.Counter(CounterProjections, 1)
+	ctx.Count(counterIDProjections, 1)
 	emit.Emit(int64(i), mr.Float64Value(proj))
 	return nil
 }
@@ -284,7 +290,7 @@ func (r *testReducer) Reduce(ctx *mr.TaskContext, key int64, values []mr.Value, 
 		}
 		projections = append(projections, float64(f))
 	}
-	ctx.Counter(CounterADTests, 1)
+	ctx.Count(counterIDADTests, 1)
 	res, err := stats.ADTest(projections, r.alpha, r.minN)
 	if err != nil {
 		// Not enough samples for a verdict: report "undecided accept".
@@ -328,7 +334,7 @@ func (m *fewMapper) Setup(*mr.TaskContext) error {
 
 func (m *fewMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
-	ctx.Counter(kmeansmr.CounterDistances, comps)
+	ctx.Count(kmeansmr.CounterIDDistances, comps)
 	if best < m.foundCount {
 		return nil
 	}
@@ -339,7 +345,7 @@ func (m *fewMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter)
 		return err
 	}
 	m.lists[i] = append(m.lists[i], vec.Project(p, m.vectors[i]))
-	ctx.Counter(CounterProjections, 1)
+	ctx.Count(counterIDProjections, 1)
 	return nil
 }
 
@@ -351,7 +357,7 @@ func (m *fewMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
 			// compute a decision."
 			continue
 		}
-		ctx.Counter(CounterADTests, 1)
+		ctx.Count(counterIDADTests, 1)
 		res, err := stats.ADTest(projections, m.alpha, m.minN)
 		if err != nil {
 			continue

@@ -99,7 +99,7 @@ func (m *pcaMapper) Setup(*mr.TaskContext) error {
 
 func (m *pcaMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter) error {
 	best, _, comps := m.nearest(p)
-	ctx.Counter(kmeansmr.CounterDistances, comps)
+	ctx.Count(kmeansmr.CounterIDDistances, comps)
 	a := m.acc[best]
 	if a == nil {
 		a = newCovValue(m.env.Dim)

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"testing"
+
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/vec"
+)
+
+// TestBinaryDecodeMatchesTextDecode mirrors TestDFSDecodeMatchesParsePointDim
+// for the binary record format: the same points written as text and as
+// binary must decode to bit-identical coordinates through the same
+// OpenSplitPoints entry point, across split layouts, and through the
+// whole-file LoadPoints reader. Text coordinates are written with
+// FormatPoint ('g', -1 — Go's shortest round-trip encoding), so the text
+// parse reproduces the exact float64 the binary file stores.
+func TestBinaryDecodeMatchesTextDecode(t *testing.T) {
+	ds, err := Generate(Spec{K: 3, Dim: 7, N: 200, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, splitSize := range []int{0, 64, 256, 1 << 12} {
+		fsText := dfs.New(splitSize)
+		ds.WriteToDFS(fsText, "/pts")
+		fsBin := dfs.New(splitSize)
+		ds.WriteToDFSBinary(fsBin, "/pts")
+
+		var text, bin []vec.Vector
+		for _, fsAndDst := range []struct {
+			fs  *dfs.FS
+			dst *[]vec.Vector
+		}{{fsText, &text}, {fsBin, &bin}} {
+			splits, err := fsAndDst.fs.Splits("/pts")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sp := range splits {
+				ps, err := fsAndDst.fs.OpenSplitPoints(sp, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < ps.Len(); i++ {
+					*fsAndDst.dst = append(*fsAndDst.dst, ps.At(i))
+				}
+			}
+		}
+		if len(text) != len(ds.Points) || len(bin) != len(ds.Points) {
+			t.Fatalf("splitSize %d: text decoded %d, binary %d, want %d",
+				splitSize, len(text), len(bin), len(ds.Points))
+		}
+		for i := range text {
+			if !vec.Equal(text[i], bin[i]) {
+				t.Fatalf("splitSize %d point %d: text %v != binary %v",
+					splitSize, i, text[i], bin[i])
+			}
+			if !vec.Equal(bin[i], ds.Points[i]) {
+				t.Fatalf("splitSize %d point %d: binary %v != source %v",
+					splitSize, i, bin[i], ds.Points[i])
+			}
+		}
+	}
+
+	// LoadPoints sniffs the format and must agree with itself across
+	// encodings of the same dataset.
+	fsText := dfs.New(0)
+	ds.WriteToDFS(fsText, "/pts")
+	fsBin := dfs.New(0)
+	ds.WriteToDFSBinary(fsBin, "/pts")
+	a, err := LoadPoints(fsText, "/pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadPoints(fsBin, "/pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("LoadPoints: text %d points, binary %d", len(a), len(b))
+	}
+	for i := range a {
+		if !vec.Equal(a[i], b[i]) {
+			t.Fatalf("LoadPoints point %d: text %v != binary %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEncodePointsBinaryRaggedPanics: a ragged point must fail loudly —
+// a misaligned binary body would otherwise decode without error into
+// different points.
+func TestEncodePointsBinaryRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged point encoded without panic")
+		}
+	}()
+	EncodePointsBinary([]vec.Vector{{1, 2, 3}, {4, 5}}, 3)
+}

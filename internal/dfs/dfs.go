@@ -1,6 +1,9 @@
 // Package dfs simulates the distributed file system underneath the
-// MapReduce engine: line-oriented files divided into fixed-size splits,
-// exactly like HDFS text files feeding Hadoop's TextInputFormat.
+// MapReduce engine: files divided into fixed-size splits, exactly like
+// HDFS blocks feeding Hadoop input formats. Point datasets come in two
+// record formats — newline-delimited text (TextInputFormat shape) and the
+// binary frame format of binary.go — both served through the same decoded
+// point cache (pointcache.go).
 //
 // The paper's cost model counts "dataset reads" as the dominant I/O cost of
 // chained MapReduce jobs (G-means pays O(log2 k) reads, multi-k-means one
@@ -239,12 +242,18 @@ func (fs *FS) Splits(path string) ([]Split, error) {
 func (fs *FS) CountDatasetRead() { fs.datasetReads.Add(1) }
 
 // OpenSplit returns a RecordReader over the records of the given split.
+// Binary point files (see binary.go) have no text records; scanning one as
+// text is always a bug, so it is rejected here rather than letting the
+// caller mis-parse frame bytes as lines.
 func (fs *FS) OpenSplit(sp Split) (*RecordReader, error) {
 	fs.mu.RLock()
 	f, ok := fs.files[sp.Path]
 	fs.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, sp.Path)
+	}
+	if IsBinary(f.data) {
+		return nil, fmt.Errorf("dfs: %s is a binary point file; open it with OpenSplitPoints", sp.Path)
 	}
 	return newRecordReader(fs, f.data, sp), nil
 }
@@ -260,6 +269,12 @@ type recordIter struct {
 	pos  int64
 	end  int64
 	done bool
+	// recStart is the byte offset in data of the record last returned by
+	// next — the record's true position in the file, which is what Hadoop's
+	// TextInputFormat hands mappers as the record key. It differs from a
+	// running sum of record lengths whenever the split skipped a partial
+	// leading record or a record ends in "\r\n".
+	recStart int64
 }
 
 func newRecordIter(data []byte, sp Split) recordIter {
@@ -282,8 +297,11 @@ func newRecordIter(data []byte, sp Split) recordIter {
 	return it
 }
 
-// next returns the next record (without its trailing newline, a view into
-// the file bytes) and true, or (nil, false) once the split is exhausted.
+// next returns the next record (without its line terminator — a trailing
+// "\n" or "\r\n" — as a view into the file bytes) and true, or (nil, false)
+// once the split is exhausted. After a true return, it.recStart holds the
+// record's byte offset and it.pos sits just past its terminator, so
+// it.pos - it.recStart is the record's full consumed byte length.
 func (it *recordIter) next() ([]byte, bool) {
 	// Hadoop's LineRecordReader reads every record whose first byte lies at
 	// or before End (inclusive); the matching skip rule in newRecordIter
@@ -292,6 +310,7 @@ func (it *recordIter) next() ([]byte, bool) {
 		it.done = true
 		return nil, false
 	}
+	it.recStart = it.pos
 	idx := bytes.IndexByte(it.data[it.pos:], '\n')
 	var rec []byte
 	if idx < 0 {
@@ -301,6 +320,11 @@ func (it *recordIter) next() ([]byte, bool) {
 	} else {
 		rec = it.data[it.pos : it.pos+int64(idx)]
 		it.pos += int64(idx) + 1
+	}
+	// CRLF line endings: the terminator is two bytes; the '\r' belongs to
+	// it, not to the record, exactly as in Hadoop's LineRecordReader.
+	if n := len(rec); n > 0 && rec[n-1] == '\r' {
+		rec = rec[:n-1]
 	}
 	return rec, true
 }
@@ -320,20 +344,32 @@ func newRecordReader(fs *FS, data []byte, sp Split) *RecordReader {
 	return &RecordReader{fs: fs, it: newRecordIter(data, sp)}
 }
 
-// Next returns the next record (without its trailing newline) and true, or
+// Next returns the next record (without its line terminator) and true, or
 // ("", false) when the split is exhausted. Returned strings are copies and
 // remain valid indefinitely.
 func (r *RecordReader) Next() (string, bool) {
+	line, _, ok := r.NextRecord()
+	return line, ok
+}
+
+// NextRecord is Next plus the record's true byte offset in the file — the
+// value Hadoop's TextInputFormat uses as the record key. Unlike a running
+// sum of record lengths, the offset is correct on every split (the partial
+// leading record a non-first split skips is accounted for) and for both
+// "\n" and "\r\n" terminators.
+func (r *RecordReader) NextRecord() (line string, offset int64, ok bool) {
 	rec, ok := r.it.next()
 	if !ok {
 		r.flush()
-		return "", false
+		return "", 0, false
 	}
-	r.pending += int64(len(rec)) + 1
+	// Account the bytes actually consumed (record + terminator), so CRLF
+	// files and unterminated final records are charged exactly.
+	r.pending += r.it.pos - r.it.recStart
 	if r.it.done {
 		r.flush()
 	}
-	return string(rec), true
+	return string(rec), r.it.recStart, true
 }
 
 func (r *RecordReader) flush() {
@@ -361,10 +397,15 @@ func (fs *FS) ReadLines(path string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return splitLines(data), nil
+	return SplitLines(data), nil
 }
 
-func splitLines(data []byte) []string {
+// SplitLines splits file contents into records, tolerating records of up
+// to 64 MiB (the bufio.Scanner default of 64 KiB is too small for very
+// wide points). Shared by ReadLines and whole-file text readers layered
+// on ReadAll (e.g. dataset.LoadPoints), so record splitting cannot
+// diverge between them.
+func SplitLines(data []byte) []string {
 	var out []string
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)

@@ -55,8 +55,11 @@ func (p *PointSplit) At(i int) []float64 {
 	return p.flat[i*p.dim : (i+1)*p.dim : (i+1)*p.dim]
 }
 
-// Bytes returns the logical text size of the split's records — the number
-// of bytes a RecordReader pass over the same split accounts.
+// Bytes returns the logical byte size of the split's records: for text
+// files, the bytes a RecordReader pass over the same split accounts; for
+// binary files, the split's owned frames plus its share of the header.
+// Either way the shares of a full split set sum to the file size, so every
+// scan pays the paper's full I/O cost.
 func (p *PointSplit) Bytes() int64 { return p.bytes }
 
 // filePoints is the decoded cache entry for one file: a snapshot of the
@@ -83,12 +86,14 @@ func (fp *filePoints) valid(dim, splitSize int, data []byte) bool {
 		(len(data) == 0 || &fp.data[0] == &data[0])
 }
 
-// OpenSplitPoints returns the decoded points of the given split, parsing
-// its records on first access and serving the cached decode on every later
-// scan. Each call accounts the split's logical text bytes as read, so
-// BytesRead advances per scan exactly as with OpenSplit; dataset-read
-// accounting is unchanged (jobs tick it once per input scan). Every record
-// must hold exactly dim coordinates.
+// OpenSplitPoints returns the decoded points of the given split, decoding
+// on first access and serving the cached decode on every later scan. Both
+// record formats are supported: text records are parsed through the shared
+// tokenizer, binary files (see binary.go) decode their fixed-stride frames
+// directly. Each call accounts the split's logical bytes as read, so
+// BytesRead advances per scan exactly as a full pass over the file does;
+// dataset-read accounting is unchanged (jobs tick it once per input scan).
+// Every record must hold exactly dim coordinates.
 //
 // The returned PointSplit and all point views are safe for concurrent use.
 func (fs *FS) OpenSplitPoints(sp Split, dim int) (*PointSplit, error) {
@@ -165,12 +170,17 @@ func (fs *FS) invalidateAllPoints() {
 	fs.points = nil
 }
 
-// decodeSplit parses the records of one split into a flat point array. It
-// walks the split with the same recordIter that backs RecordReader, so
-// record ownership is rule-for-rule identical to a text scan, and counts
-// the same len(record)+1 logical bytes per record that RecordReader
+// decodeSplit parses the records of one split into a flat point array,
+// dispatching on the file's format: binary frames decode at memory
+// bandwidth (decodeBinarySplit), text records go through the shared
+// tokenizer. The text walk uses the same recordIter that backs
+// RecordReader, so record ownership is rule-for-rule identical to a text
+// scan, and it counts the same consumed bytes per record that RecordReader
 // accounts.
 func decodeSplit(data []byte, sp Split, dim int) (*PointSplit, error) {
+	if IsBinary(data) {
+		return decodeBinarySplit(data, sp, dim)
+	}
 	// Pre-size for the common case of ~15 bytes per coordinate; a split
 	// narrower than one record may own no records at all.
 	est := int(sp.End-sp.Start)/(15*dim) + 1
@@ -193,7 +203,7 @@ func decodeSplit(data []byte, sp Split, dim int) (*PointSplit, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dfs: %s split %d: %w", sp.Path, sp.Index, err)
 		}
-		logical += int64(len(rec)) + 1
+		logical += it.pos - it.recStart
 	}
 	return &PointSplit{flat: flat, dim: dim, bytes: logical}, nil
 }

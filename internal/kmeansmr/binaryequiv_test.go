@@ -1,0 +1,211 @@
+package kmeansmr
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/vec"
+)
+
+// jobCounters is the full set of counters — application and engine — that
+// the format-equivalence tests pin. (FS-level BytesRead is deliberately
+// absent: the binary encoding is smaller by design.)
+var jobCounters = []string{
+	CounterDistances, CounterPoints,
+	mr.CounterMapInputRecords, mr.CounterMapOutputRecords, mr.CounterMapOutputBytes,
+	mr.CounterCombineInput, mr.CounterCombineOutput,
+	mr.CounterShuffleRecords, mr.CounterShuffleBytes,
+	mr.CounterReduceInputGroups, mr.CounterReduceInputRecords, mr.CounterReduceOutput,
+}
+
+func assertIterationsEqual(t *testing.T, label string, text, bin *IterationResult) {
+	t.Helper()
+	for c := range text.Centers {
+		if !vec.Equal(text.Centers[c], bin.Centers[c]) {
+			t.Errorf("%s center %d: text %v != binary %v", label, c, text.Centers[c], bin.Centers[c])
+		}
+		if text.Sizes[c] != bin.Sizes[c] {
+			t.Errorf("%s size %d: text %d != binary %d", label, c, text.Sizes[c], bin.Sizes[c])
+		}
+	}
+	for _, counter := range jobCounters {
+		if a, b := text.Job.Counters.Get(counter), bin.Job.Counters.Get(counter); a != b {
+			t.Errorf("%s %s: text %d != binary %d", label, counter, a, b)
+		}
+	}
+}
+
+// TestIterateBinaryMatchesTextExactly is the ingestion-format contract:
+// one MR k-means iteration over a binary point file must produce
+// bit-identical centers, sizes, app.* counters and engine counters to the
+// same iteration over the text encoding of the same points. The binary
+// format changes how bytes decode, never what the job computes.
+//
+// Bit-identity of the centroid sums requires each map task to fold the
+// same records on both paths (floating-point addition is not associative
+// across task boundaries). The single-split case gets that for free. The
+// multi-split case engineers it: fixed-width 40-byte text records (5
+// coordinates × 7 chars + 4 separators + newline) against the 40-byte
+// binary stride of dim-5 frames, with split size 40·r+13 on both sides —
+// the +13 places every split boundary strictly inside a record, past the
+// binary file's 12-byte header, so the text rule (a split reads through
+// the record straddling its end) and the binary rule (a split owns frames
+// beginning inside its window) cut the record sequence at identical
+// indices. The test verifies that alignment explicitly before relying on
+// it.
+func TestIterateBinaryMatchesTextExactly(t *testing.T) {
+	const (
+		dim = 5
+		n   = 600
+	)
+	rng := rand.New(rand.NewSource(25))
+	var text strings.Builder
+	points := make([]vec.Vector, 0, n)
+	for i := 0; i < n; i++ {
+		fields := make([]string, dim)
+		for d := range fields {
+			fields[d] = fmt.Sprintf("%7.3f", rng.Float64()*198-99)
+		}
+		line := strings.Join(fields, " ")
+		if len(line) != 39 {
+			t.Fatalf("record %d is %d bytes, want 39: %q", i, len(line), line)
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+		// The binary file holds the float64 the text parse produces, so the
+		// decoded points are bit-identical by construction.
+		p, err := dataset.ParsePointDim(line, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, p)
+	}
+	centers := vec.CloneAll(points[:7])
+	cluster := mr.Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2,
+		TaskHeapBytes: 64 << 20, MaxHeapUsage: 0.66}
+
+	for _, tc := range []struct {
+		label     string
+		splitSize int
+	}{
+		{"single-split", 1 << 20},
+		{"multi-split", 40*200 + 13},
+	} {
+		fsText := dfs.New(tc.splitSize)
+		fsText.Create("/p.txt", []byte(text.String()))
+		fsBin := dfs.New(tc.splitSize)
+		fsBin.Create("/p.gmpb", dataset.EncodePointsBinary(points, dim))
+
+		// Guard: both layouts must hand every map task the same records.
+		textCounts := splitRecordCounts(t, fsText, "/p.txt", dim)
+		binCounts := splitRecordCounts(t, fsBin, "/p.gmpb", dim)
+		if !slices.Equal(textCounts, binCounts) {
+			t.Fatalf("%s: record-per-task layouts diverge: text %v, binary %v",
+				tc.label, textCounts, binCounts)
+		}
+		if tc.label == "multi-split" && len(textCounts) < 3 {
+			t.Fatalf("multi-split case produced %d splits", len(textCounts))
+		}
+
+		text, err := Iterate(Env{FS: fsText, Cluster: cluster, Input: "/p.txt", Dim: dim}, centers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := Iterate(Env{FS: fsBin, Cluster: cluster, Input: "/p.gmpb", Dim: dim}, centers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIterationsEqual(t, tc.label, text, bin)
+	}
+}
+
+// splitRecordCounts returns the number of records each split of path owns.
+func splitRecordCounts(t *testing.T, fs *dfs.FS, path string, dim int) []int {
+	t.Helper()
+	splits, err := fs.Splits(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(splits))
+	for i, sp := range splits {
+		ps, err := fs.OpenSplitPoints(sp, dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = ps.Len()
+	}
+	return counts
+}
+
+// TestIterateBinaryByteAccounting: every scan of a binary input accounts
+// one dataset read and the binary file's full byte size — the paper's I/O
+// model with the format's own (smaller) byte volume.
+func TestIterateBinaryByteAccounting(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{K: 3, Dim: 4, N: 1200, MinSeparation: 15, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dfs.New(4 << 10)
+	ds.WriteToDFSBinary(fs, "/data/points.gmpb")
+	env := Env{
+		FS: fs,
+		Cluster: mr.Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2,
+			TaskHeapBytes: 64 << 20, MaxHeapUsage: 0.66},
+		Input: "/data/points.gmpb",
+		Dim:   4,
+	}
+	size, err := fs.Size(env.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetCounters()
+	for it := 0; it < 3; it++ {
+		if _, err := Iterate(env, ds.Centers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.DatasetReads(); got != 3 {
+		t.Errorf("dataset reads = %d, want 3 (one per iteration)", got)
+	}
+	if got := fs.BytesRead(); got != 3*size {
+		t.Errorf("bytes read = %d, want 3×%d", got, size)
+	}
+}
+
+// TestSampleUpToBinary: the reservoir-sampling scan works unchanged over a
+// binary input (it goes through the same decoded-split cache).
+func TestSampleUpToBinary(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Spec{K: 2, Dim: 3, N: 500, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsText := dfs.New(2 << 10)
+	ds.WriteToDFS(fsText, "/p.txt")
+	fsBin := dfs.New(2 << 10)
+	ds.WriteToDFSBinary(fsBin, "/p.gmpb")
+	cluster := mr.Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2,
+		TaskHeapBytes: 64 << 20, MaxHeapUsage: 0.66}
+
+	a, err := SamplePoints(Env{FS: fsText, Cluster: cluster, Input: "/p.txt", Dim: 3}, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SamplePoints(Env{FS: fsBin, Cluster: cluster, Input: "/p.gmpb", Dim: 3}, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !vec.Equal(a[i], b[i]) {
+			t.Errorf("sample %d: text %v != binary %v", i, a[i], b[i])
+		}
+	}
+}

@@ -35,6 +35,14 @@ const (
 	CounterPoints = "app.points.processed"
 )
 
+// Interned forms of the counters above, so per-record mapper loops tick
+// them without string-map lookups (see mr.InternCounter). Exported because
+// package core's mappers tick the same counters.
+var (
+	CounterIDDistances = mr.InternCounter(CounterDistances)
+	CounterIDPoints    = mr.InternCounter(CounterPoints)
+)
+
 // Env bundles what every job in this repository needs: the file system,
 // the cluster to run on, the dataset location and its dimensionality.
 type Env struct {
@@ -143,8 +151,8 @@ func (m *assignMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) e
 }
 
 func (m *assignMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
-	ctx.Counter(CounterDistances, m.dists)
-	ctx.Counter(CounterPoints, m.points)
+	ctx.Count(CounterIDDistances, m.dists)
+	ctx.Count(CounterIDPoints, m.points)
 	for i := range m.accs {
 		if m.accs[i].Count > 0 {
 			emit.Emit(int64(i), mr.WeightedPointValue{WeightedPoint: m.accs[i]})
@@ -177,8 +185,8 @@ func (m *legacyAssignMapper) Map(ctx *mr.TaskContext, rec mr.Record, emit mr.Emi
 		return err
 	}
 	best, _, comps := m.nearest(p)
-	ctx.Counter(CounterDistances, comps)
-	ctx.Counter(CounterPoints, 1)
+	ctx.Count(CounterIDDistances, comps)
+	ctx.Count(CounterIDPoints, 1)
 	emit.Emit(int64(best), mr.OwnWeightedPointValue(p))
 	return nil
 }

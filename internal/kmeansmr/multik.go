@@ -135,8 +135,8 @@ func (m *multiMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) er
 }
 
 func (m *multiMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
-	ctx.Counter(CounterDistances, m.dists)
-	ctx.Counter(CounterPoints, m.points)
+	ctx.Count(CounterIDDistances, m.dists)
+	ctx.Count(CounterIDPoints, m.points)
 	for _, k := range m.ks {
 		accs := m.accs[k]
 		for cid := range accs {
@@ -316,7 +316,7 @@ func (m *evalMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) err
 }
 
 func (m *evalMapper) Close(ctx *mr.TaskContext, emit mr.Emitter) error {
-	ctx.Counter(CounterDistances, m.dists)
+	ctx.Count(CounterIDDistances, m.dists)
 	for _, k := range m.ks {
 		emit.Emit(int64(k), *m.acc[k])
 	}

@@ -20,38 +20,135 @@ const (
 	CounterReduceOutput       = "mr.reduce.output.records"
 )
 
-// Counters is a concurrency-safe named-counter set, the equivalent of
-// Hadoop job counters. Tasks increment; the driver reads the merged totals
-// after the job completes.
+// CounterID is the interned form of a counter name: a small dense integer
+// that indexes the slice-backed counter stores. Hot paths (per-record
+// mapper loops, the spill/combine bookkeeping) tick counters by ID and
+// never hash a string; the string API remains for reporting and for call
+// sites that don't care.
+type CounterID int32
+
+// counterRegistry is the process-wide name ↔ ID intern table. IDs are
+// dense and never reused, so slice-backed stores can index by ID directly.
+var counterRegistry = struct {
+	sync.RWMutex
+	ids   map[string]CounterID
+	names []string
+}{ids: make(map[string]CounterID)}
+
+// InternCounter returns the stable CounterID for name, registering it on
+// first use. Packages intern their counter names once (package-level vars)
+// and tick by ID thereafter.
+func InternCounter(name string) CounterID {
+	counterRegistry.RLock()
+	id, ok := counterRegistry.ids[name]
+	counterRegistry.RUnlock()
+	if ok {
+		return id
+	}
+	counterRegistry.Lock()
+	defer counterRegistry.Unlock()
+	if id, ok := counterRegistry.ids[name]; ok {
+		return id
+	}
+	id = CounterID(len(counterRegistry.names))
+	counterRegistry.ids[name] = id
+	counterRegistry.names = append(counterRegistry.names, name)
+	return id
+}
+
+// CounterName returns the name interned as id, or "" for an unknown id.
+func CounterName(id CounterID) string {
+	counterRegistry.RLock()
+	defer counterRegistry.RUnlock()
+	if id < 0 || int(id) >= len(counterRegistry.names) {
+		return ""
+	}
+	return counterRegistry.names[id]
+}
+
+// Pre-interned IDs of the engine's own counters, used by the scheduler's
+// per-task bookkeeping.
+var (
+	idMapInputRecords    = InternCounter(CounterMapInputRecords)
+	idMapOutputRecords   = InternCounter(CounterMapOutputRecords)
+	idMapOutputBytes     = InternCounter(CounterMapOutputBytes)
+	idCombineInput       = InternCounter(CounterCombineInput)
+	idCombineOutput      = InternCounter(CounterCombineOutput)
+	idShuffleBytes       = InternCounter(CounterShuffleBytes)
+	idShuffleRecords     = InternCounter(CounterShuffleRecords)
+	idReduceInputGroups  = InternCounter(CounterReduceInputGroups)
+	idReduceInputRecords = InternCounter(CounterReduceInputRecords)
+	idReduceOutput       = InternCounter(CounterReduceOutput)
+)
+
+// Counters is a concurrency-safe counter set, the equivalent of Hadoop job
+// counters, stored as a slice indexed by CounterID. Tasks increment; the
+// driver reads the merged totals after the job completes. A counter is
+// reported (Snapshot, Names) once it has been added to, even with a zero
+// delta — matching Hadoop, where a counter exists from first touch.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]int64
+	mu      sync.Mutex
+	vals    []int64
+	touched []bool
 }
 
 // NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+func NewCounters() *Counters { return &Counters{} }
+
+// grow extends the stores to cover id. Callers hold c.mu.
+func (c *Counters) grow(id CounterID) {
+	if int(id) < len(c.vals) {
+		return
+	}
+	vals := make([]int64, id+1)
+	copy(vals, c.vals)
+	c.vals = vals
+	touched := make([]bool, id+1)
+	copy(touched, c.touched)
+	c.touched = touched
+}
+
+// AddID increments the counter interned as id by delta.
+func (c *Counters) AddID(id CounterID, delta int64) {
+	if id < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.grow(id)
+	c.vals[id] += delta
+	c.touched[id] = true
+	c.mu.Unlock()
+}
 
 // Add increments the named counter by delta.
 func (c *Counters) Add(name string, delta int64) {
+	c.AddID(InternCounter(name), delta)
+}
+
+// GetID returns the current value of the counter interned as id.
+func (c *Counters) GetID(id CounterID) int64 {
 	c.mu.Lock()
-	c.m[name] += delta
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	if id < 0 || int(id) >= len(c.vals) {
+		return 0
+	}
+	return c.vals[id]
 }
 
 // Get returns the current value of the named counter (0 when absent).
 func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
+	return c.GetID(InternCounter(name))
 }
 
-// Snapshot returns a copy of all counters.
+// Snapshot returns a copy of all counters that have been added to.
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
+	out := make(map[string]int64, len(c.vals))
+	for id, v := range c.vals {
+		if c.touched[id] {
+			out[CounterName(CounterID(id))] = v
+		}
 	}
 	return out
 }
@@ -59,18 +156,29 @@ func (c *Counters) Snapshot() map[string]int64 {
 // MergeInto adds every counter of c into dst. Used by drivers that
 // aggregate counters across the chained jobs of one algorithm run.
 func (c *Counters) MergeInto(dst *Counters) {
-	for name, v := range c.Snapshot() {
-		dst.Add(name, v)
+	c.mu.Lock()
+	vals := make([]int64, len(c.vals))
+	copy(vals, c.vals)
+	touched := make([]bool, len(c.touched))
+	copy(touched, c.touched)
+	c.mu.Unlock()
+	for id, v := range vals {
+		if touched[id] {
+			dst.AddID(CounterID(id), v)
+		}
 	}
 }
 
-// Names returns the sorted counter names, for stable reporting.
+// Names returns the sorted names of every counter added to, for stable
+// reporting.
 func (c *Counters) Names() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.m))
-	for k := range c.m {
-		out = append(out, k)
+	out := make([]string, 0, len(c.vals))
+	for id := range c.vals {
+		if c.touched[id] {
+			out = append(out, CounterName(CounterID(id)))
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -114,14 +114,26 @@ func (j *Job) Run() (*Result, error) {
 	counters := NewCounters()
 
 	var splits []dfs.Split
+	scanned := 0 // inputs the map wave will actually scan
 	for _, path := range j.Input {
 		ss, err := j.FS.Splits(path)
 		if err != nil {
 			return nil, fmt.Errorf("mr: job %q: %w", j.Name, err)
 		}
 		splits = append(splits, ss...)
-		// Each job scans each of its inputs exactly once across its map
-		// wave; this is the paper's "dataset read" cost unit.
+		if len(ss) > 0 {
+			scanned++
+		}
+	}
+	// Each job scans each of its non-empty inputs exactly once across its
+	// map wave; this is the paper's "dataset read" cost unit. An empty file
+	// yields no splits and therefore no scan, and a job cancelled before
+	// its map wave starts never reads anything — neither may tick the
+	// counter, or chained-job read totals drift from the paper's model.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mr: job %q: %w", j.Name, err)
+	}
+	for i := 0; i < scanned; i++ {
 		j.FS.CountDatasetRead()
 	}
 
@@ -254,9 +266,9 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 	for _, kv := range em.buf {
 		outBytes += int64(kv.Value.ByteSize()) + 8
 	}
-	ctx.Counter(CounterMapInputRecords, records)
-	ctx.Counter(CounterMapOutputRecords, int64(len(em.buf)))
-	ctx.Counter(CounterMapOutputBytes, outBytes)
+	ctx.Count(idMapInputRecords, records)
+	ctx.Count(idMapOutputRecords, int64(len(em.buf)))
+	ctx.Count(idMapOutputBytes, outBytes)
 
 	// Partition, sort, and (optionally) combine, as Hadoop does on spill.
 	parts := make([][]KV, numReducers)
@@ -278,8 +290,8 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 			shuffled++
 			shuffledBytes += int64(kv.Value.ByteSize()) + 8
 		}
-		ctx.Counter(CounterShuffleRecords, shuffled)
-		ctx.Counter(CounterShuffleBytes, shuffledBytes)
+		ctx.Count(idShuffleRecords, shuffled)
+		ctx.Count(idShuffleBytes, shuffledBytes)
 	}
 	ctx.flushCounters()
 	return parts, nil
@@ -314,10 +326,13 @@ func (j *Job) mapSplit(ctx *TaskContext, sp dfs.Split, em Emitter) (int64, error
 	if err != nil {
 		return 0, err
 	}
-	var offset int64 = sp.Start
 	var records int64
 	for {
-		line, ok := reader.Next()
+		// The reader reports each record's true byte offset. A running sum
+		// seeded with sp.Start would be wrong for every split but the first
+		// (the skipped partial leading record goes unaccounted) and for
+		// CRLF terminators.
+		line, offset, ok := reader.NextRecord()
 		if !ok {
 			break
 		}
@@ -325,7 +340,6 @@ func (j *Job) mapSplit(ctx *TaskContext, sp dfs.Split, em Emitter) (int64, error
 		if err := mapper.Map(ctx, Record{Offset: offset, Line: line}, em); err != nil {
 			return 0, err
 		}
-		offset += int64(len(line)) + 1
 	}
 	return records, mapper.Close(ctx, em)
 }
@@ -349,7 +363,7 @@ func (j *Job) combineRun(ctx *TaskContext, taskID int, run []KV, counters *Count
 		for _, kv := range run[i:jdx] {
 			values = append(values, kv.Value)
 		}
-		ctx.Counter(CounterCombineInput, int64(len(values)))
+		ctx.Count(idCombineInput, int64(len(values)))
 		if err := combiner.Reduce(ctx, k, values, out); err != nil {
 			return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
 		}
@@ -358,7 +372,7 @@ func (j *Job) combineRun(ctx *TaskContext, taskID int, run []KV, counters *Count
 	if err := combiner.Close(ctx, out); err != nil {
 		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
 	}
-	ctx.Counter(CounterCombineOutput, int64(len(out.buf)))
+	ctx.Count(idCombineOutput, int64(len(out.buf)))
 	slices.SortStableFunc(out.buf, byKey)
 	return out.buf, nil
 }
@@ -443,14 +457,12 @@ func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error
 		counters:   counters,
 		heapBudget: j.Cluster.TaskHeapBytes,
 	}
-	// Merge: concatenate in deterministic (map-task) order, then stable
-	// sort by key. Runs are already sorted, so this is the moral
-	// equivalent of Hadoop's merge phase.
-	var merged []KV
-	for _, run := range runs {
-		merged = append(merged, run...)
-	}
-	slices.SortStableFunc(merged, byKey)
+	// Merge the per-task key-sorted runs with a k-way heap merge — Hadoop's
+	// merge phase proper, O(n log r) instead of re-sorting the
+	// concatenation. Key ties break by map-task id, so the output order is
+	// byte-for-byte what concatenate + stable sort produced (pinned by
+	// TestMergeRunsMatchesConcatSort).
+	merged := MergeRuns(runs)
 
 	reducer := j.NewReducer()
 	if err := reducer.Setup(ctx); err != nil {
@@ -479,9 +491,9 @@ func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error
 	if err := reducer.Close(ctx, out); err != nil {
 		return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
 	}
-	ctx.Counter(CounterReduceInputGroups, groups)
-	ctx.Counter(CounterReduceInputRecords, records)
-	ctx.Counter(CounterReduceOutput, int64(len(out.buf)))
+	ctx.Count(idReduceInputGroups, groups)
+	ctx.Count(idReduceInputRecords, records)
+	ctx.Count(idReduceOutput, int64(len(out.buf)))
 	ctx.flushCounters()
 	return out.buf, nil
 }

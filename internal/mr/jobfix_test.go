@@ -1,0 +1,204 @@
+package mr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"gmeansmr/internal/dfs"
+)
+
+// offsetMapper records every (offset, line) pair it sees.
+type offsetMapper struct {
+	mu      *sync.Mutex
+	seen    map[int64]string
+	emitKey int64
+}
+
+func (m *offsetMapper) Setup(*TaskContext) error { return nil }
+
+func (m *offsetMapper) Map(_ *TaskContext, rec Record, emit Emitter) error {
+	m.mu.Lock()
+	m.seen[rec.Offset] = rec.Line
+	m.mu.Unlock()
+	emit.Emit(m.emitKey, Int64Value(1))
+	return nil
+}
+
+func (m *offsetMapper) Close(*TaskContext, Emitter) error { return nil }
+
+// TestRecordOffsetsAcrossSplits is the engine-level regression test for
+// the split-relative Record.Offset drift: with many splits (and CRLF
+// terminators), every record must arrive with its true byte offset — the
+// contract of Hadoop's TextInputFormat offset key.
+func TestRecordOffsetsAcrossSplits(t *testing.T) {
+	for _, crlf := range []bool{false, true} {
+		records := []string{"10", "2002", "3", "40444", "55", "6", "777777", "88"}
+		sep := "\n"
+		if crlf {
+			sep = "\r\n"
+		}
+		var b strings.Builder
+		want := map[int64]string{}
+		for _, rec := range records {
+			want[int64(b.Len())] = rec
+			b.WriteString(rec)
+			b.WriteString(sep)
+		}
+		fs := dfs.New(6) // several splits, records straddling boundaries
+		fs.Create("/in", []byte(b.String()))
+
+		mu := &sync.Mutex{}
+		seen := map[int64]string{}
+		job := &Job{
+			Name:    "offsets",
+			FS:      fs,
+			Cluster: testCluster(),
+			Input:   []string{"/in"},
+			NewMapper: func() Mapper {
+				return &offsetMapper{mu: mu, seen: seen}
+			},
+			NewReducer: func() Reducer {
+				return ReducerFunc(func(_ *TaskContext, key int64, values []Value, emit Emitter) error {
+					emit.Emit(key, Int64Value(len(values)))
+					return nil
+				})
+			},
+		}
+		res, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MapTasks < 2 {
+			t.Fatalf("crlf=%v: want a multi-split job, got %d map tasks", crlf, res.MapTasks)
+		}
+		if len(seen) != len(want) {
+			t.Fatalf("crlf=%v: saw %d distinct offsets, want %d: %v", crlf, len(seen), len(want), seen)
+		}
+		for off, rec := range want {
+			if seen[off] != rec {
+				t.Errorf("crlf=%v: offset %d carried %q, want %q", crlf, off, seen[off], rec)
+			}
+		}
+	}
+}
+
+// TestDatasetReadNotTickedForEmptyInput: an empty file yields no splits,
+// so no map task ever scans it — it must not count as a dataset read.
+func TestDatasetReadNotTickedForEmptyInput(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/data", []int{1, 2, 3})
+	fs.Create("/empty", nil)
+	fs.ResetCounters()
+
+	job := wordCountJob(fs, "/data", false)
+	job.Input = []string{"/empty", "/data"}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.DatasetReads(); got != 1 {
+		t.Errorf("DatasetReads = %d, want 1 (only the non-empty input is scanned)", got)
+	}
+	if got := countsFromResult(res); got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Errorf("output = %v", got)
+	}
+
+	// A job whose only input is empty scans nothing at all.
+	fs.ResetCounters()
+	onlyEmpty := wordCountJob(fs, "/empty", false)
+	res, err = onlyEmpty.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.DatasetReads(); got != 0 {
+		t.Errorf("DatasetReads = %d, want 0 for an empty-only job", got)
+	}
+	if len(res.Output) != 0 || res.MapTasks != 0 {
+		t.Errorf("empty-input job produced output=%v mapTasks=%d", res.Output, res.MapTasks)
+	}
+}
+
+// TestDatasetReadNotTickedWhenCancelledBeforeWave: a job cancelled before
+// its map wave starts never reads the dataset, so the paper's read counter
+// must not move.
+func TestDatasetReadNotTickedWhenCancelledBeforeWave(t *testing.T) {
+	fs := dfs.New(0)
+	writeTokens(fs, "/in", []int{1, 2, 3})
+	fs.ResetCounters()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := wordCountJob(fs, "/in", false)
+	job.Ctx = ctx
+	_, err := job.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := fs.DatasetReads(); got != 0 {
+		t.Errorf("DatasetReads = %d, want 0 for a run cancelled before the map wave", got)
+	}
+}
+
+// TestCounterInterning covers the ID-based hot path of the counter system:
+// interning is stable, ID and name APIs see the same cells, and a counter
+// touched with a zero delta still reports (Hadoop counters exist from
+// first touch).
+func TestCounterInterning(t *testing.T) {
+	idA := InternCounter("test.intern.a")
+	if again := InternCounter("test.intern.a"); again != idA {
+		t.Fatalf("interning not stable: %d vs %d", idA, again)
+	}
+	if name := CounterName(idA); name != "test.intern.a" {
+		t.Fatalf("CounterName = %q", name)
+	}
+	if name := CounterName(-1); name != "" {
+		t.Fatalf("CounterName(-1) = %q", name)
+	}
+
+	c := NewCounters()
+	c.AddID(idA, 5)
+	c.Add("test.intern.a", 2)
+	if got := c.Get("test.intern.a"); got != 7 {
+		t.Errorf("mixed ID/name adds = %d, want 7", got)
+	}
+	if got := c.GetID(idA); got != 7 {
+		t.Errorf("GetID = %d, want 7", got)
+	}
+
+	// Zero-delta touch reports the counter.
+	idB := InternCounter("test.intern.b")
+	c.AddID(idB, 0)
+	snap := c.Snapshot()
+	if v, ok := snap["test.intern.b"]; !ok || v != 0 {
+		t.Errorf("zero-touched counter missing from snapshot: %v", snap)
+	}
+	// Get of a never-touched counter neither reports nor invents it.
+	_ = c.Get("test.intern.never")
+	for _, name := range c.Names() {
+		if name == "test.intern.never" {
+			t.Error("Get materialized an untouched counter")
+		}
+	}
+}
+
+// TestTaskContextCountMatchesCounter: the buffered ID path must flush the
+// same totals the name path does.
+func TestTaskContextCountMatchesCounter(t *testing.T) {
+	id := InternCounter("test.ctx.count")
+	counters := NewCounters()
+	ctx := &TaskContext{counters: counters}
+	for i := 0; i < 100; i++ {
+		ctx.Count(id, 2)
+	}
+	ctx.Counter("test.ctx.count", 1)
+	if got := counters.Get("test.ctx.count"); got != 0 {
+		t.Fatalf("counters visible before flush: %d", got)
+	}
+	ctx.flushCounters()
+	if got := counters.Get("test.ctx.count"); got != 201 {
+		t.Fatalf("flushed %d, want 201", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
 )
 
 // DataSource supplies the points of one dataset to a Clusterer run. The
@@ -94,8 +95,11 @@ func (s *readerSource) Open() (PointReader, error) {
 	return newTextReader(s.r, nil), nil
 }
 
-// FromFile is FromReader over an operating-system file, opened lazily at
-// each Open call — unlike FromReader it is re-readable.
+// FromFile is a re-readable DataSource over an operating-system file,
+// opened lazily at each Open call. The record format is sniffed: files
+// beginning with the binary point magic (`datagen -format binary`) stream
+// fixed-stride float64 frames; anything else parses as CSV/TSV/space-
+// separated text, as with FromReader.
 func FromFile(path string) DataSource { return &fileSource{path: path} }
 
 type fileSource struct{ path string }
@@ -105,8 +109,49 @@ func (s *fileSource) Open() (PointReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gmeansmr: %w", err)
 	}
-	return newTextReader(f, f), nil
+	br := bufio.NewReaderSize(f, 64<<10)
+	magic, err := br.Peek(len(dfs.BinaryMagic))
+	if err == nil && dfs.IsBinary(magic) {
+		header := make([]byte, dfs.BinaryHeaderLen)
+		if _, err := io.ReadFull(br, header); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("gmeansmr: %s: %w", s.path, err)
+		}
+		dim, err := dfs.ParseBinaryHeader(header)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("gmeansmr: %s: %w", s.path, err)
+		}
+		return &binaryReader{r: br, closer: f, dim: dim, frame: make([]byte, 8*dim)}, nil
+	}
+	// Peek errors (e.g. a file shorter than the magic) fall through to the
+	// text reader, which reports them in terms of lines.
+	return newTextReader(br, f), nil
 }
+
+// binaryReader streams the frames of a binary point file.
+type binaryReader struct {
+	r      io.Reader
+	closer io.Closer
+	dim    int
+	frame  []byte
+	n      int // frames read, for error messages
+}
+
+func (b *binaryReader) Next() (Point, error) {
+	if _, err := io.ReadFull(b.r, b.frame); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("gmeansmr: binary point %d: %w", b.n, err)
+	}
+	p := make(Point, b.dim)
+	dfs.DecodeBinaryFrame(p, b.frame)
+	b.n++
+	return p, nil
+}
+
+func (b *binaryReader) Close() error { return b.closer.Close() }
 
 type textReader struct {
 	sc     *bufio.Scanner
