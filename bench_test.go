@@ -622,6 +622,66 @@ func BenchmarkReduceMerge(b *testing.B) {
 	})
 }
 
+// BenchmarkColumnarAssign is the acceptance benchmark of the columnar
+// (dim-major) split layout + batched distance kernels: one repeated MR
+// k-means assignment pass (d=16, n=100k, k=32) on the row-major per-point
+// path (n·k scalar Dist2 calls through vec.NearestIndex) versus the
+// columnar path (one fused vec.NearestBatch kernel call per split).
+// Before timing, it asserts the two paths produce bit-identical centers,
+// sizes and app.* counters — the layout must never change what the job
+// computes. d=16 sits at the scalar kernel's early-exit threshold, so the
+// comparison is against the scalar path at its best.
+func BenchmarkColumnarAssign(b *testing.B) {
+	spec := dataset.Spec{K: 32, Dim: 16, N: 100_000, CenterRange: 100,
+		StdDev: 1, MinSeparation: 8, Seed: 89}
+	colEnv, ds := benchEnv(b, spec, benchCluster())
+	rowEnv := colEnv
+	rowEnv.DisableColumnar = true
+	centers := ds.Centers
+
+	// Equality gate (also warms the decode cache and the columnar views, so
+	// the timed runs below measure the steady state of a chained workload).
+	col, err := kmeansmr.Iterate(colEnv, centers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, err := kmeansmr.Iterate(rowEnv, centers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := range centers {
+		if !vec.Equal(col.Centers[c], row.Centers[c]) || col.Sizes[c] != row.Sizes[c] {
+			b.Fatalf("columnar and row-major paths disagree on center %d", c)
+		}
+	}
+	for _, counter := range []string{kmeansmr.CounterDistances, kmeansmr.CounterPoints} {
+		if col.Job.Counters.Get(counter) != row.Job.Counters.Get(counter) {
+			b.Fatalf("columnar and row-major paths disagree on %s", counter)
+		}
+	}
+
+	// Each op is the mean of assignReps iterations, so the CI single-op run
+	// (-benchtime 1x) is robust against one-off scheduling or GC outliers.
+	const assignReps = 3
+	for _, tc := range []struct {
+		name string
+		env  kmeansmr.Env
+	}{{"scalar-per-point", rowEnv}, {"columnar-batch", colEnv}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < assignReps; r++ {
+					if _, err := kmeansmr.Iterate(tc.env, centers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(spec.N), "points")
+			b.ReportMetric(assignReps, "iterations/op")
+		})
+	}
+}
+
 func BenchmarkKMeansIterationMR(b *testing.B) {
 	spec := dataset.Spec{K: 32, Dim: 10, N: 50_000, CenterRange: 100,
 		StdDev: 1, MinSeparation: 8, Seed: 41}

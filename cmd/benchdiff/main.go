@@ -1,0 +1,185 @@
+// Command benchdiff compares two BENCH.json artifacts (as written by
+// cmd/benchjson) and fails when a watched benchmark regressed by more
+// than the threshold, so CI can gate each push's perf trajectory against
+// the previous push instead of letting regressions accumulate silently.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-watch re1,re2,...] old.json new.json
+//
+// Every benchmark present in both files is reported with its ns/op
+// delta. Enforcement applies only to benchmarks matched by a -watch
+// regular expression: those fail the run when their ns/op grew by more
+// than threshold (default 20%), or when they disappeared from the new
+// artifact. With no -watch list the tool is report-only — single-shot
+// CI numbers are too noisy to gate every benchmark, so CI names the
+// stable, equality-gated hot-path benchmarks explicitly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Result is the subset of the benchjson record this tool consumes.
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// change is one benchmark present in both artifacts.
+type change struct {
+	name     string
+	old, new float64
+	ratio    float64 // new/old
+	watched  bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	threshold := flag.Float64("threshold", 0.20, "fail a watched benchmark when ns/op grows by more than this fraction")
+	watchFlag := flag.String("watch", "", "comma-separated regexps of benchmark names to enforce (report-only when empty)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatal("usage: benchdiff [-threshold 0.20] [-watch re,...] old.json new.json")
+	}
+	watch, err := compileWatch(*watchFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldResults, err := load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	newResults, err := load(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	changes, missing := diff(oldResults, newResults, watch)
+	report(os.Stdout, changes, missing, *threshold)
+
+	failures := 0
+	for _, c := range changes {
+		if c.watched && c.ratio > 1+*threshold {
+			failures++
+		}
+	}
+	failures += len(missing)
+	if failures > 0 {
+		log.Fatalf("%d watched benchmark(s) regressed beyond %.0f%% or went missing", failures, *threshold*100)
+	}
+}
+
+func load(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func compileWatch(list string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad -watch pattern %q: %w", s, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}
+
+func watched(name string, watch []*regexp.Regexp) bool {
+	for _, re := range watch {
+		if re.MatchString(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// procSuffix is the "-P" GOMAXPROCS suffix the testing package appends
+// to every benchmark name (absent when GOMAXPROCS is 1).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the GOMAXPROCS suffix so artifacts pair on the
+// benchmark itself: a CI runner shape change (2 → 4 vCPUs renames every
+// benchmark from ...-2 to ...-4) must not make the watched set "missing"
+// and hard-fail every later push.
+func normalizeName(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// diff pairs the two artifacts by normalized benchmark name. A benchmark
+// may appear several times in one artifact (e.g. re-runs); the last
+// occurrence wins, matching how a reader of the raw bench log would see
+// it. It returns the paired changes (sorted worst ratio first) and the
+// watched benchmarks that disappeared from the new artifact. Benchmarks
+// that are new, or whose old ns/op is zero (a corrupt or placeholder
+// record), cannot be compared and are skipped.
+func diff(oldResults, newResults []Result, watch []*regexp.Regexp) (changes []change, missing []string) {
+	oldBy := make(map[string]float64, len(oldResults))
+	for _, r := range oldResults {
+		oldBy[normalizeName(r.Name)] = r.NsPerOp
+	}
+	newBy := make(map[string]float64, len(newResults))
+	for _, r := range newResults {
+		newBy[normalizeName(r.Name)] = r.NsPerOp
+	}
+	for name, cur := range newBy {
+		prev, ok := oldBy[name]
+		if !ok || prev <= 0 {
+			continue
+		}
+		changes = append(changes, change{
+			name: name, old: prev, new: cur,
+			ratio:   cur / prev,
+			watched: watched(name, watch),
+		})
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].ratio != changes[j].ratio {
+			return changes[i].ratio > changes[j].ratio
+		}
+		return changes[i].name < changes[j].name
+	})
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok && watched(name, watch) {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	return changes, missing
+}
+
+func report(w *os.File, changes []change, missing []string, threshold float64) {
+	for _, c := range changes {
+		status := "  "
+		switch {
+		case c.watched && c.ratio > 1+threshold:
+			status = "✗ " // enforced regression
+		case c.watched:
+			status = "✓ "
+		}
+		fmt.Fprintf(w, "%s%-60s %14.0f → %14.0f ns/op  %+6.1f%%\n",
+			status, c.name, c.old, c.new, (c.ratio-1)*100)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "✗ %-60s missing from new artifact\n", name)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func results(pairs ...any) []Result {
+	var out []Result
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, Result{Name: pairs[i].(string), NsPerOp: float64(pairs[i+1].(int))})
+	}
+	return out
+}
+
+func TestDiffPairsAndSortsWorstFirst(t *testing.T) {
+	// The new artifact comes from a 4-vCPU runner (-4 suffixes), the old
+	// one from a 2-vCPU runner: pairing must key on the benchmark, not
+	// the runner shape.
+	oldR := results("BenchmarkA-2", 100, "BenchmarkB/sub-2", 1000, "BenchmarkGone-2", 50)
+	newR := results("BenchmarkA-4", 150, "BenchmarkB/sub-4", 900, "BenchmarkNew-4", 10)
+	changes, missing := diff(oldR, newR, nil)
+	if len(changes) != 2 {
+		t.Fatalf("got %d changes, want 2 (new-only and gone benchmarks skipped)", len(changes))
+	}
+	if changes[0].name != "BenchmarkA" || changes[0].ratio != 1.5 {
+		t.Errorf("worst-first sort: first change = %+v", changes[0])
+	}
+	if changes[1].name != "BenchmarkB/sub" || changes[1].ratio != 0.9 {
+		t.Errorf("second change = %+v", changes[1])
+	}
+	if len(missing) != 0 {
+		t.Errorf("unwatched disappeared benchmark reported missing: %v", missing)
+	}
+}
+
+func TestDiffWatchedEnforcement(t *testing.T) {
+	watch := []*regexp.Regexp{regexp.MustCompile(`^BenchmarkHot/`)}
+	oldR := results("BenchmarkHot/path-2", 100, "BenchmarkCold-2", 100, "BenchmarkHot/gone-2", 10)
+	newR := results("BenchmarkHot/path-2", 130, "BenchmarkCold-2", 500)
+	changes, missing := diff(oldR, newR, watch)
+
+	byName := map[string]change{}
+	for _, c := range changes {
+		byName[c.name] = c
+	}
+	if c := byName["BenchmarkHot/path"]; !c.watched || c.ratio != 1.3 {
+		t.Errorf("watched hot path = %+v", c)
+	}
+	// A 5× regression on an unwatched benchmark is reported but never
+	// enforced.
+	if c := byName["BenchmarkCold"]; c.watched {
+		t.Errorf("unwatched benchmark marked watched: %+v", c)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkHot/gone" {
+		t.Errorf("missing = %v, want the disappeared watched benchmark", missing)
+	}
+}
+
+func TestDiffSkipsZeroBaseline(t *testing.T) {
+	changes, _ := diff(results("BenchmarkZ-2", 0), results("BenchmarkZ-2", 10), nil)
+	if len(changes) != 0 {
+		t.Errorf("zero ns/op baseline compared: %+v", changes)
+	}
+}
+
+func TestCompileWatch(t *testing.T) {
+	ws, err := compileWatch(" BenchmarkA , ,Benchmark(B|C)/kway ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("compiled %d patterns, want 2", len(ws))
+	}
+	if !watched("BenchmarkB/kway-heap-2", ws) || watched("BenchmarkD-2", ws) {
+		t.Error("watch matching wrong")
+	}
+	if _, err := compileWatch("("); err == nil {
+		t.Error("invalid regexp accepted")
+	}
+}

@@ -52,6 +52,43 @@ ok  	gmeansmr	1.528s
 	}
 }
 
+// TestParseSubBenchmarkNames pins the handling of nested sub-benchmark
+// names: every "/"-separated segment — including segments carrying
+// key=value parameters and the trailing -P GOMAXPROCS suffix — must
+// survive into the JSON record verbatim, because benchdiff pairs
+// artifacts by exact name.
+func TestParseSubBenchmarkNames(t *testing.T) {
+	input := "BenchmarkNearestBatch/n=8192/d=16/k=32/batch-2   409	 1419973 ns/op\n" +
+		"BenchmarkColumnarAssign/scalar-per-point-2   1	 122576474 ns/op	 3.000 iterations/op	 100000 points\n" +
+		"BenchmarkTable1GMeans/k=16-2   1	 99 ns/op	 16.00 k_found\n"
+	results, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"BenchmarkNearestBatch/n=8192/d=16/k=32/batch-2",
+		"BenchmarkColumnarAssign/scalar-per-point-2",
+		"BenchmarkTable1GMeans/k=16-2",
+	}
+	if len(results) != len(want) {
+		t.Fatalf("parsed %d results, want %d", len(results), len(want))
+	}
+	for i, name := range want {
+		if results[i].Name != name {
+			t.Errorf("result %d name = %q, want %q", i, results[i].Name, name)
+		}
+	}
+	if results[0].NsPerOp != 1419973 || results[0].Iterations != 409 {
+		t.Errorf("deep sub-benchmark values = %+v", results[0])
+	}
+	if results[1].Metrics["iterations/op"] != 3 || results[1].Metrics["points"] != 100000 {
+		t.Errorf("sub-benchmark custom metrics = %v", results[1].Metrics)
+	}
+	if results[2].Metrics["k_found"] != 16 {
+		t.Errorf("parameterized sub-benchmark metrics = %v", results[2].Metrics)
+	}
+}
+
 func TestParseRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
 		"BenchmarkX 3 12", // dangling value without unit

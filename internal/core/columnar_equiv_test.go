@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/kmeansmr"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/vec"
+)
+
+// TestGMeansColumnarMatchesRowMajor pins the whole G-means trajectory
+// across the two mapper layouts: every job of every round — the fused
+// k-means + candidate pass, both normality-test strategies, and the PCA
+// candidate job — must make bit-identical decisions whether assignment
+// runs through the batched dim-major kernels or the per-point row-major
+// loop, so the runs converge to the same k, the same centers and the same
+// counter totals.
+func TestGMeansColumnarMatchesRowMajor(t *testing.T) {
+	pinned := []string{
+		kmeansmr.CounterDistances, kmeansmr.CounterPoints,
+		CounterADTests, CounterProjections,
+		mr.CounterMapInputRecords, mr.CounterMapOutputRecords,
+		mr.CounterShuffleRecords, mr.CounterShuffleBytes,
+		mr.CounterReduceInputGroups, mr.CounterReduceInputRecords,
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"few-clusters", Config{ForceStrategy: StrategyFewClusters}},
+		{"reducer", Config{ForceStrategy: StrategyReducer}},
+		{"pca-candidates", Config{Candidates: CandidatesPCA}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(disableColumnar bool) *Result {
+				ds, err := dataset.Generate(dataset.Spec{K: 3, Dim: 16, N: 2400,
+					CenterRange: 100, StdDev: 1, MinSeparation: 20, Seed: 93})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs := dfs.New(24 << 10)
+				ds.WriteToDFS(fs, "/p.txt")
+				cfg := tc.cfg
+				cfg.Env = kmeansmr.Env{
+					FS: fs,
+					Cluster: mr.Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 2,
+						TaskHeapBytes: 64 << 20, MaxHeapUsage: 0.66},
+					Input:           "/p.txt",
+					Dim:             16,
+					DisableColumnar: disableColumnar,
+				}
+				cfg.Seed = 94
+				cfg.MaxIterations = 6
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			col := run(false)
+			row := run(true)
+			if col.K != row.K || col.Iterations != row.Iterations {
+				t.Fatalf("trajectories diverge: columnar (k=%d, %d rounds), row-major (k=%d, %d rounds)",
+					col.K, col.Iterations, row.K, row.Iterations)
+			}
+			for c := range col.Centers {
+				if !vec.Equal(col.Centers[c], row.Centers[c]) {
+					t.Errorf("center %d: columnar %v != row-major %v", c, col.Centers[c], row.Centers[c])
+				}
+			}
+			for _, counter := range pinned {
+				if a, b := col.Counters.Get(counter), row.Counters.Get(counter); a != b {
+					t.Errorf("%s: columnar %d != row-major %d", counter, a, b)
+				}
+			}
+		})
+	}
+}

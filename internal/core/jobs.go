@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/stats"
@@ -47,6 +48,7 @@ type kfncMapper struct {
 	nearest func(vec.Vector) (int, float64, int64)
 
 	accs   []vec.WeightedPoint
+	batch  kmeansmr.BatchAssigner
 	dists  int64
 	points int64
 }
@@ -71,6 +73,26 @@ func (m *kfncMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, emit mr.Emitter) 
 	// combiners and reducers re-emit candidate values verbatim and never
 	// mutate them, and the driver copies on Centroid().
 	emit.Emit(int64(best)+Offset, mr.OwnWeightedPointValue(p))
+	return nil
+}
+
+// MapColumns batches the assignment half of the job: one fused kernel
+// call per split, then the same per-point fold and candidate emission in
+// input order — so partial sums, candidate streams and counters match the
+// MapPoint loop bit for bit.
+func (m *kfncMapper) MapColumns(_ *mr.TaskContext, cols *dfs.ColumnarSplit, emit mr.Emitter) error {
+	n := cols.Len()
+	idx := m.batch.Assign(m.centers, cols)
+	m.dists += int64(len(m.centers)) * int64(n)
+	m.points += int64(n)
+	for j, best := range idx {
+		if best < 0 {
+			return fmt.Errorf("core: point has no nearest center (all distances non-finite)")
+		}
+		p := cols.At(j)
+		m.accs[best].Merge(vec.WeightedPoint{Sum: p, Count: 1})
+		emit.Emit(int64(best)+Offset, mr.OwnWeightedPointValue(p))
+	}
 	return nil
 }
 
@@ -171,13 +193,14 @@ type kfncOutput struct {
 func runKFNC(cfg Config, centers []vec.Vector, round int) (*kfncOutput, *mr.Result, error) {
 	nearest := cfg.Env.NearestFunc(centers)
 	job := &mr.Job{
-		Name:       fmt.Sprintf("gmeans-kfnc-round-%d", round),
-		FS:         cfg.FS,
-		Cluster:    cfg.Cluster,
-		Input:      []string{cfg.Input},
-		Ctx:        cfg.Env.Ctx,
-		PointDim:   cfg.Dim,
-		NewReducer: func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} },
+		Name:            fmt.Sprintf("gmeans-kfnc-round-%d", round),
+		FS:              cfg.FS,
+		Cluster:         cfg.Cluster,
+		Input:           []string{cfg.Input},
+		Ctx:             cfg.Env.Ctx,
+		PointDim:        cfg.Dim,
+		DisableColumnar: cfg.Env.RowMajorOnly(),
+		NewReducer:      func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} },
 	}
 	if cfg.DisableCombiners {
 		job.NewPointMapper = func() mr.PointMapper {
@@ -240,6 +263,7 @@ type testMapper struct {
 	foundCount int
 	vectors    []vec.Vector
 	nearest    func(vec.Vector) (int, float64, int64)
+	batch      kmeansmr.BatchAssigner
 }
 
 func (m *testMapper) Setup(*mr.TaskContext) error {
@@ -259,6 +283,26 @@ func (m *testMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter
 	proj := vec.Project(p, m.vectors[i])
 	ctx.Count(counterIDProjections, 1)
 	emit.Emit(int64(i), mr.Float64Value(proj))
+	return nil
+}
+
+// MapColumns batches the cluster lookup; projections then run per point
+// in input order on the row views, so the emitted streams are identical
+// to the MapPoint loop's.
+func (m *testMapper) MapColumns(ctx *mr.TaskContext, cols *dfs.ColumnarSplit, emit mr.Emitter) error {
+	n := cols.Len()
+	idx := m.batch.Assign(m.parents, cols)
+	ctx.Count(kmeansmr.CounterIDDistances, int64(len(m.parents))*int64(n))
+	var projections int64
+	for j, best := range idx {
+		if int(best) < m.foundCount {
+			continue // cluster already accepted as Gaussian (or best < 0)
+		}
+		i := int(best) - m.foundCount
+		projections++
+		emit.Emit(int64(i), mr.Float64Value(vec.Project(cols.At(j), m.vectors[i])))
+	}
+	ctx.Count(counterIDProjections, projections)
 	return nil
 }
 
@@ -322,6 +366,7 @@ type fewMapper struct {
 
 	lists   map[int][]float64
 	nearest func(vec.Vector) (int, float64, int64)
+	batch   kmeansmr.BatchAssigner
 }
 
 func (m *fewMapper) Setup(*mr.TaskContext) error {
@@ -346,6 +391,30 @@ func (m *fewMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter)
 	}
 	m.lists[i] = append(m.lists[i], vec.Project(p, m.vectors[i]))
 	ctx.Count(counterIDProjections, 1)
+	return nil
+}
+
+// MapColumns batches the cluster lookup of the mapper-side strategy; the
+// projection buffering (and its per-double heap reservation) runs per
+// point in input order, so buffered lists, heap frontier and counters
+// match the MapPoint loop exactly.
+func (m *fewMapper) MapColumns(ctx *mr.TaskContext, cols *dfs.ColumnarSplit, _ mr.Emitter) error {
+	n := cols.Len()
+	idx := m.batch.Assign(m.parents, cols)
+	ctx.Count(kmeansmr.CounterIDDistances, int64(len(m.parents))*int64(n))
+	var projections int64
+	for j, best := range idx {
+		if int(best) < m.foundCount {
+			continue // cluster already accepted as Gaussian (or best < 0)
+		}
+		i := int(best) - m.foundCount
+		if err := ctx.ReserveHeap(8); err != nil {
+			return err
+		}
+		m.lists[i] = append(m.lists[i], vec.Project(cols.At(j), m.vectors[i]))
+		projections++
+	}
+	ctx.Count(counterIDProjections, projections)
 	return nil
 }
 
@@ -419,12 +488,13 @@ func runTest(cfg Config, strategy TestStrategy, parents []vec.Vector, foundCount
 	numActive := len(vectors)
 	nearest := cfg.Env.NearestFunc(parents)
 	job := &mr.Job{
-		Name:     fmt.Sprintf("gmeans-%s-round-%d", strategy, round),
-		FS:       cfg.FS,
-		Cluster:  cfg.Cluster,
-		Input:    []string{cfg.Input},
-		Ctx:      cfg.Env.Ctx,
-		PointDim: cfg.Dim,
+		Name:            fmt.Sprintf("gmeans-%s-round-%d", strategy, round),
+		FS:              cfg.FS,
+		Cluster:         cfg.Cluster,
+		Input:           []string{cfg.Input},
+		Ctx:             cfg.Env.Ctx,
+		PointDim:        cfg.Dim,
+		DisableColumnar: cfg.Env.RowMajorOnly(),
 		// "The number of reduce tasks is still equal to k": one partition
 		// per cluster under test.
 		NumReducers: numActive,

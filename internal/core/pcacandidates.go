@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/vec"
@@ -87,6 +88,7 @@ type pcaMapper struct {
 	centers []vec.Vector
 	nearest func(vec.Vector) (int, float64, int64)
 	acc     map[int]*covValue
+	batch   kmeansmr.BatchAssigner
 }
 
 func (m *pcaMapper) Setup(*mr.TaskContext) error {
@@ -106,6 +108,24 @@ func (m *pcaMapper) MapPoint(ctx *mr.TaskContext, p vec.Vector, emit mr.Emitter)
 		m.acc[best] = a
 	}
 	a.add(p)
+	return nil
+}
+
+// MapColumns batches the assignment; covariance statistics then
+// accumulate per point in input order, exactly as the MapPoint loop folds
+// them.
+func (m *pcaMapper) MapColumns(ctx *mr.TaskContext, cols *dfs.ColumnarSplit, _ mr.Emitter) error {
+	n := cols.Len()
+	idx := m.batch.Assign(m.centers, cols)
+	ctx.Count(kmeansmr.CounterIDDistances, int64(len(m.centers))*int64(n))
+	for j, best := range idx {
+		a := m.acc[int(best)]
+		if a == nil {
+			a = newCovValue(m.env.Dim)
+			m.acc[int(best)] = a
+		}
+		a.add(cols.At(j))
+	}
 	return nil
 }
 
@@ -209,12 +229,13 @@ func powerIteration(cov []float64, d, iters int, rng *rand.Rand) (vec.Vector, fl
 func runPCACandidates(cfg Config, centers []vec.Vector, round int) ([][]vec.Vector, *mr.Result, error) {
 	nearest := cfg.Env.NearestFunc(centers)
 	job := &mr.Job{
-		Name:     fmt.Sprintf("gmeans-pca-candidates-round-%d", round),
-		FS:       cfg.FS,
-		Cluster:  cfg.Cluster,
-		Input:    []string{cfg.Input},
-		Ctx:      cfg.Env.Ctx,
-		PointDim: cfg.Dim,
+		Name:            fmt.Sprintf("gmeans-pca-candidates-round-%d", round),
+		FS:              cfg.FS,
+		Cluster:         cfg.Cluster,
+		Input:           []string{cfg.Input},
+		Ctx:             cfg.Env.Ctx,
+		PointDim:        cfg.Dim,
+		DisableColumnar: cfg.Env.RowMajorOnly(),
 		NewPointMapper: func() mr.PointMapper {
 			return &pcaMapper{env: cfg.Env, centers: centers, nearest: nearest}
 		},

@@ -196,5 +196,7 @@ func decodeBinarySplit(data []byte, sp Split, dim int) (*PointSplit, error) {
 		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
 	}
 	logical += n * stride
-	return &PointSplit{flat: flat, dim: dim, bytes: logical}, nil
+	// Keep the frame window so a later Columns() call can fill the
+	// dim-major view straight from the file bytes (see columnar.go).
+	return &PointSplit{flat: flat, dim: dim, bytes: logical, raw: body[:n*stride]}, nil
 }

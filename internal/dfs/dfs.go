@@ -2,8 +2,9 @@
 // MapReduce engine: files divided into fixed-size splits, exactly like
 // HDFS blocks feeding Hadoop input formats. Point datasets come in two
 // record formats — newline-delimited text (TextInputFormat shape) and the
-// binary frame format of binary.go — both served through the same decoded
-// point cache (pointcache.go).
+// GMPB binary frame format of binary.go, specified in docs/formats.md —
+// both served through the same decoded point cache (pointcache.go) and
+// its columnar views (columnar.go).
 //
 // The paper's cost model counts "dataset reads" as the dominant I/O cost of
 // chained MapReduce jobs (G-means pays O(log2 k) reads, multi-k-means one
@@ -15,6 +16,32 @@
 // observe storage latency directly, only (a) how many times the dataset is
 // scanned and (b) how records are partitioned into splits — both of which
 // are modeled faithfully.
+//
+// # Contract
+//
+// Split ownership. A split [Start, End) owns the records that begin at or
+// after Start (skipping a partial leading record unless Start is 0) and
+// reads through the record straddling End; a binary split owns the frames
+// whose first byte lies in its window. Every record has exactly one owner
+// under any layout. One implementation per format enforces the rules —
+// recordIter behind both RecordReader and the cache's text decode,
+// decodeBinarySplit behind the binary decode — so scan paths cannot
+// diverge on ownership.
+//
+// Snapshot reads. OpenSplit, OpenSplitPoints and Columns hand out
+// immutable views: a reader holding one across a concurrent overwrite,
+// delete or re-split keeps a consistent snapshot of the bytes it opened.
+//
+// Cache invalidation. The decoded point cache (and the columnar views
+// hanging off its PointSplits) invalidates per path on Create and Delete,
+// and wholesale on SetSplitSize; stale split descriptors decode correctly
+// but bypass the cache.
+//
+// Accounting conservation. Every scan of a split — text or binary, cold
+// or cached, row-major or columnar — accounts the split's full logical
+// bytes, and per-split shares always sum to the file size; jobs tick one
+// dataset read per non-empty input scan. Caching removes parse CPU only;
+// the paper's I/O model never notices it.
 package dfs
 
 import (

@@ -1,0 +1,34 @@
+package dfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"gmeansmr/internal/dfs"
+)
+
+// ExampleFS_OpenSplitPoints shows the decoded-split fast path: splits
+// decode once into cached row-major points, and Columns serves the same
+// coordinates dim-major for the batch kernels.
+func ExampleFS_OpenSplitPoints() {
+	fs := dfs.New(1 << 20)
+	fs.Create("/points.txt", []byte("1 2\n3 4\n5 6\n"))
+
+	splits, err := fs.Splits("/points.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps, err := fs.OpenSplitPoints(splits[0], 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("points=%d dim=%d first=%v\n", ps.Len(), ps.Dim(), ps.At(0))
+
+	cols := ps.Columns() // dim-major view of the same coordinates
+	fmt.Printf("dim 0 across all points: %v\n", cols.Col(0))
+	fmt.Printf("dataset reads=%d bytes read=%d\n", fs.DatasetReads(), fs.BytesRead())
+	// Output:
+	// points=3 dim=2 first=[1 2]
+	// dim 0 across all points: [1 3 5]
+	// dataset reads=0 bytes read=12
+}

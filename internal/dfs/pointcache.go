@@ -35,11 +35,20 @@ import (
 // float64 coordinates, backed by a single flat array. At returns strided
 // views into that array — callers must treat them as read-only and may
 // retain them for as long as they like (the backing array is immutable
-// once decoded).
+// once decoded). Columns (columnar.go) serves the same coordinates
+// dim-major for the batch kernels, materialized lazily at most once.
 type PointSplit struct {
 	flat  []float64
 	dim   int
 	bytes int64
+
+	// raw is the split's binary frame window when the split was decoded
+	// from a binary point file (nil for text); Columns fills the dim-major
+	// view straight from it instead of transposing flat.
+	raw []byte
+
+	colOnce sync.Once
+	col     *ColumnarSplit
 }
 
 // Len returns the number of points in the split.

@@ -53,8 +53,16 @@ type Env struct {
 	// UseKDTree accelerates the mappers' nearest-center queries with a
 	// k-d tree over the center set (the mrkd-tree idea of Pelleg & Moore
 	// that the paper's related work cites). Results are identical to the
-	// linear scan; only the number of distance computations drops.
+	// linear scan; only the number of distance computations drops. It
+	// implies the row-major mapper path: the batched columnar kernel is a
+	// linear scan, and the kd-tree's pruned distance counts cannot be
+	// reproduced by it.
 	UseKDTree bool
+	// DisableColumnar forces the per-point row-major mapper path even
+	// where the batched dim-major kernels apply. Results are bit-identical
+	// either way (pinned by the columnar equivalence tests); this exists
+	// for those tests and for the columnar-vs-scalar benchmarks.
+	DisableColumnar bool
 	// Ctx, when non-nil, cancels or deadlines every job built from this
 	// environment — the drivers (G-means rounds, multi-k-means iterations)
 	// also check it between jobs. Nil means context.Background().
@@ -93,6 +101,46 @@ func (e Env) NearestFunc(centers []vec.Vector) func(vec.Vector) (int, float64, i
 	}
 }
 
+// RowMajorOnly reports whether jobs built from this environment must use
+// the per-point row-major mapper path (see UseKDTree and DisableColumnar);
+// drivers copy it into mr.Job.DisableColumnar.
+func (e Env) RowMajorOnly() bool { return e.UseKDTree || e.DisableColumnar }
+
+// BatchAssigner wraps the fused nearest-center kernel of internal/vec
+// with reusable per-task buffers. One instance belongs to one map task;
+// Assign may be called once per center set (multi-k-means calls it |ks|
+// times per split).
+type BatchAssigner struct {
+	idx     []int32
+	dist    []float64
+	scratch vec.BatchScratch
+}
+
+// Assign computes the nearest center of every point of the split in one
+// kernel call and returns one center index per point. Entries are -1 when
+// every distance is non-finite, exactly as vec.NearestIndex reports. The
+// returned slice is owned by the assigner and overwritten by the next
+// call.
+func (a *BatchAssigner) Assign(centers []vec.Vector, cols *dfs.ColumnarSplit) []int32 {
+	idx, _ := a.AssignDist(centers, cols)
+	return idx
+}
+
+// AssignDist is Assign plus each point's squared distance to its nearest
+// center — the second result of vec.NearestIndex, bit-identical. Both
+// returned slices are owned by the assigner and overwritten by the next
+// call.
+func (a *BatchAssigner) AssignDist(centers []vec.Vector, cols *dfs.ColumnarSplit) ([]int32, []float64) {
+	n := cols.Len()
+	if cap(a.idx) < n {
+		a.idx = make([]int32, n)
+		a.dist = make([]float64, n)
+	}
+	idx, dist := a.idx[:n], a.dist[:n]
+	vec.NearestBatch(centers, cols.Flat(), n, idx, dist, &a.scratch)
+	return idx, dist
+}
+
 // Validate reports a configuration error, if any.
 func (e Env) Validate() error {
 	if e.FS == nil {
@@ -121,6 +169,7 @@ type assignMapper struct {
 	nearest func(vec.Vector) (int, float64, int64)
 
 	accs   []vec.WeightedPoint
+	batch  BatchAssigner
 	dists  int64
 	points int64
 }
@@ -147,6 +196,28 @@ func (m *assignMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) e
 	// performed — one implementation keeps the bit-identity guarantee in
 	// one place.
 	m.accs[best].Merge(vec.WeightedPoint{Sum: p, Count: 1})
+	return nil
+}
+
+// MapColumns is the columnar fast path of the assignment: one fused
+// batch-kernel call replaces the n·k scalar Dist2 calls of the MapPoint
+// loop. The kernel returns bit-identical indices (vec.NearestBatch's
+// contract) and the fold below merges points in the same input order, so
+// accumulators — and therefore centers, sizes and counters — match the
+// row-major path bit for bit. The engine only takes this path on the
+// linear scan (see Env.RowMajorOnly), whose modelled distance cost is k
+// per point.
+func (m *assignMapper) MapColumns(_ *mr.TaskContext, cols *dfs.ColumnarSplit, _ mr.Emitter) error {
+	n := cols.Len()
+	idx := m.batch.Assign(m.centers, cols)
+	m.dists += int64(len(m.centers)) * int64(n)
+	m.points += int64(n)
+	for j, best := range idx {
+		if best < 0 {
+			return fmt.Errorf("kmeansmr: point has no nearest center (all distances non-finite)")
+		}
+		m.accs[best].Merge(vec.WeightedPoint{Sum: cols.At(j), Count: 1})
+	}
 	return nil
 }
 
@@ -281,12 +352,13 @@ func iterate(env Env, centers []vec.Vector, name string, mode iterateMode) (*Ite
 	// One nearest-center structure per job, shared read-only by all tasks.
 	nearest := env.NearestFunc(centers)
 	job := &mr.Job{
-		Name:       name,
-		FS:         env.FS,
-		Cluster:    env.Cluster,
-		Input:      []string{env.Input},
-		Ctx:        env.Ctx,
-		NewReducer: func() mr.Reducer { return MergeReducer{} },
+		Name:            name,
+		FS:              env.FS,
+		Cluster:         env.Cluster,
+		Input:           []string{env.Input},
+		Ctx:             env.Ctx,
+		DisableColumnar: env.RowMajorOnly(),
+		NewReducer:      func() mr.Reducer { return MergeReducer{} },
 	}
 	switch mode {
 	case modePoints:

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/lloyd"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/vec"
@@ -106,6 +107,7 @@ type multiMapper struct {
 	nearest map[int]func(vec.Vector) (int, float64, int64)
 
 	accs   map[int][]vec.WeightedPoint
+	batch  BatchAssigner
 	dists  int64
 	points int64
 }
@@ -131,6 +133,29 @@ func (m *multiMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) er
 		m.accs[k][best].Merge(vec.WeightedPoint{Sum: p, Count: 1})
 	}
 	m.points++
+	return nil
+}
+
+// MapColumns batches the per-k assignment: one fused kernel call per
+// candidate center set instead of Σ_k k scalar Dist2 calls per point. Per
+// (k, center, dimension) the accumulation runs in the same point order as
+// the MapPoint loop, so the partial sums are bit-identical; the distance
+// counter ticks the same Σ_k k modelled cost per point.
+func (m *multiMapper) MapColumns(_ *mr.TaskContext, cols *dfs.ColumnarSplit, _ mr.Emitter) error {
+	n := cols.Len()
+	for _, k := range m.ks {
+		centers := m.centerSets[k]
+		idx := m.batch.Assign(centers, cols)
+		m.dists += int64(len(centers)) * int64(n)
+		accs := m.accs[k]
+		for j, best := range idx {
+			if best < 0 {
+				return fmt.Errorf("kmeansmr: point has no nearest center for k=%d (all distances non-finite)", k)
+			}
+			accs[best].Merge(vec.WeightedPoint{Sum: cols.At(j), Count: 1})
+		}
+	}
+	m.points += int64(n)
 	return nil
 }
 
@@ -197,12 +222,13 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		}
 		nearest := buildNearestByK(cfg.Env, centerSets, ks)
 		job := &mr.Job{
-			Name:     fmt.Sprintf("multi-k-means-iter-%d", it),
-			FS:       cfg.FS,
-			Cluster:  cfg.Cluster,
-			Input:    []string{cfg.Input},
-			Ctx:      cfg.Ctx,
-			PointDim: cfg.Dim,
+			Name:            fmt.Sprintf("multi-k-means-iter-%d", it),
+			FS:              cfg.FS,
+			Cluster:         cfg.Cluster,
+			Input:           []string{cfg.Input},
+			Ctx:             cfg.Ctx,
+			PointDim:        cfg.Dim,
+			DisableColumnar: cfg.Env.RowMajorOnly(),
 			NewPointMapper: func() mr.PointMapper {
 				return &multiMapper{env: cfg.Env, centerSets: centerSets, ks: ks, nearest: nearest}
 			},
@@ -291,6 +317,7 @@ type evalMapper struct {
 	centerSets map[int][]vec.Vector
 	ks         []int
 	acc        map[int]*evalValue
+	batch      BatchAssigner
 	dists      int64
 }
 
@@ -311,6 +338,25 @@ func (m *evalMapper) MapPoint(_ *mr.TaskContext, p vec.Vector, _ mr.Emitter) err
 		a.SumD2 += d2
 		a.SumD += math.Sqrt(d2)
 		a.Count++
+	}
+	return nil
+}
+
+// MapColumns batches the scoring pass: the fused kernel returns each
+// point's nearest squared distance bit-identically, and the quality sums
+// fold in the same point order as the MapPoint loop.
+func (m *evalMapper) MapColumns(_ *mr.TaskContext, cols *dfs.ColumnarSplit, _ mr.Emitter) error {
+	n := cols.Len()
+	for _, k := range m.ks {
+		centers := m.centerSets[k]
+		_, dist := m.batch.AssignDist(centers, cols)
+		m.dists += int64(len(centers)) * int64(n)
+		a := m.acc[k]
+		for _, d2 := range dist {
+			a.SumD2 += d2
+			a.SumD += math.Sqrt(d2)
+		}
+		a.Count += int64(n)
 	}
 	return nil
 }
@@ -356,12 +402,13 @@ func Evaluate(cfg MultiConfig, res *MultiResult) error {
 	}
 	sort.Ints(ks)
 	job := &mr.Job{
-		Name:     "multi-k-means-evaluate",
-		FS:       cfg.FS,
-		Cluster:  cfg.Cluster,
-		Input:    []string{cfg.Input},
-		Ctx:      cfg.Ctx,
-		PointDim: cfg.Dim,
+		Name:            "multi-k-means-evaluate",
+		FS:              cfg.FS,
+		Cluster:         cfg.Cluster,
+		Input:           []string{cfg.Input},
+		Ctx:             cfg.Ctx,
+		PointDim:        cfg.Dim,
+		DisableColumnar: cfg.Env.RowMajorOnly(),
 		NewPointMapper: func() mr.PointMapper {
 			return &evalMapper{env: cfg.Env, centerSets: res.CentersByK, ks: ks}
 		},

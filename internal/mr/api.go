@@ -1,5 +1,7 @@
 package mr
 
+import "gmeansmr/internal/dfs"
+
 // Record is one input record handed to a mapper: a line of the input file
 // plus its byte offset, mirroring Hadoop's TextInputFormat (offset key,
 // line value).
@@ -56,6 +58,28 @@ type PointMapper interface {
 	// Close runs after the last point and may emit trailing pairs —
 	// in-mapper combining mappers emit their accumulators here.
 	Close(ctx *TaskContext, emit Emitter) error
+}
+
+// ColumnarMapper is an optional extension of PointMapper: a point mapper
+// that also implements it is handed its whole split at once in dim-major
+// (structure-of-arrays) form, so per-split work — nearest-center
+// assignment above all — can run as one batched kernel call instead of a
+// per-point interface call chasing n row views. The engine prefers
+// MapColumns whenever the mapper implements it and the job has not set
+// DisableColumnar; Setup and Close still run around it, and MapPoint is
+// never called for a split served columnar.
+//
+// Contract: MapColumns must produce exactly the emissions and counter
+// ticks the equivalent MapPoint loop over cols.At(0..Len-1) would — the
+// columnar layout is a performance path, never a semantic one. The
+// kmeansmr/core equivalence tests pin this (bit-identical centers, sizes
+// and counters between the two paths). The cols view is read-only, shared
+// with the decode cache, and may be retained, like the point slices of
+// MapPoint.
+type ColumnarMapper interface {
+	PointMapper
+	// MapColumns processes every point of the split in one call.
+	MapColumns(ctx *TaskContext, cols *dfs.ColumnarSplit, emit Emitter) error
 }
 
 // MapperFactory builds one Mapper per map task.

@@ -1,0 +1,56 @@
+package mr_test
+
+import (
+	"fmt"
+	"log"
+
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/mr"
+)
+
+// ExampleJob_Run runs the classic first MapReduce job — sum values per
+// key — on the simulated cluster: one map task per DFS split, a combiner
+// folding each task's output, and a sort-shuffled reduce.
+func ExampleJob_Run() {
+	fs := dfs.New(16) // tiny splits: several map tasks even for this input
+	fs.WriteLines("/in", []string{"1 10", "2 20", "1 5", "2 2", "1 1"})
+
+	sum := mr.ReducerFunc(func(_ *mr.TaskContext, key int64, values []mr.Value, emit mr.Emitter) error {
+		var s int64
+		for _, v := range values {
+			s += int64(v.(mr.Int64Value))
+		}
+		emit.Emit(key, mr.Int64Value(s))
+		return nil
+	})
+	job := &mr.Job{
+		Name:    "sum-per-key",
+		FS:      fs,
+		Cluster: mr.Cluster{Nodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, TaskHeapBytes: 1 << 20, MaxHeapUsage: 1},
+		Input:   []string{"/in"},
+		NewMapper: func() mr.Mapper {
+			return mr.MapperFunc(func(_ *mr.TaskContext, rec mr.Record, emit mr.Emitter) error {
+				var key, val int64
+				if _, err := fmt.Sscanf(rec.Line, "%d %d", &key, &val); err != nil {
+					return err
+				}
+				emit.Emit(key, mr.Int64Value(val))
+				return nil
+			})
+		},
+		NewCombiner: func() mr.Reducer { return sum },
+		NewReducer:  func() mr.Reducer { return sum },
+	}
+	res, err := job.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range res.SortedOutput() {
+		fmt.Printf("key %d → %d\n", kv.Key, kv.Value.(mr.Int64Value))
+	}
+	fmt.Printf("map tasks=%d dataset reads=%d\n", res.MapTasks, fs.DatasetReads())
+	// Output:
+	// key 1 → 16
+	// key 2 → 22
+	// map tasks=2 dataset reads=1
+}

@@ -38,9 +38,16 @@ type Job struct {
 	// PointDim is the point dimensionality of the input files; required
 	// with NewPointMapper (every record must decode to exactly PointDim
 	// coordinates).
-	PointDim    int
-	NewCombiner ReducerFactory // optional; nil disables combining
-	NewReducer  ReducerFactory
+	PointDim int
+	// DisableColumnar forces the per-point row-major path even for point
+	// mappers that implement ColumnarMapper. Drivers set it when the
+	// mapper's batched kernels do not apply (kd-tree-accelerated nearest
+	// lookups report pruned distance counts the linear batch kernel cannot
+	// reproduce); the equivalence tests and benchmarks use it to pin the
+	// two paths against each other.
+	DisableColumnar bool
+	NewCombiner     ReducerFactory // optional; nil disables combining
+	NewReducer      ReducerFactory
 
 	// NumReducers is the number of reduce tasks (= output partitions).
 	// Zero selects the cluster's total reduce capacity, the common Hadoop
@@ -311,6 +318,14 @@ func (j *Job) mapSplit(ctx *TaskContext, sp dfs.Split, em Emitter) (int64, error
 			return 0, err
 		}
 		n := ps.Len()
+		if cm, ok := mapper.(ColumnarMapper); ok && !j.DisableColumnar {
+			// Columnar fast path: the whole split in one call, against the
+			// dim-major view materialized once per cached decode.
+			if err := cm.MapColumns(ctx, ps.Columns(), em); err != nil {
+				return 0, err
+			}
+			return int64(n), mapper.Close(ctx, em)
+		}
 		for i := 0; i < n; i++ {
 			if err := mapper.MapPoint(ctx, ps.At(i), em); err != nil {
 				return 0, err

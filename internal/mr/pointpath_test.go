@@ -3,6 +3,7 @@ package mr
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"gmeansmr/internal/dfs"
@@ -113,4 +114,87 @@ func TestPointMapperValidation(t *testing.T) {
 
 func dfsFormat(x, y float64) string {
 	return strconv.FormatFloat(x, 'g', -1, 64) + " " + strconv.FormatFloat(y, 'g', -1, 64) + "\n"
+}
+
+// columnarSumMapper is sumPointMapper plus the columnar extension; it
+// records which path the engine drove so the dispatch tests can assert it.
+type columnarSumMapper struct {
+	sumPointMapper
+	pathTaken *pathCounts // shared across tasks, mutated under its mutex
+}
+
+type pathCounts struct {
+	mu       sync.Mutex
+	columnar int
+	perPoint int
+}
+
+func (m *columnarSumMapper) MapPoint(ctx *TaskContext, p []float64, emit Emitter) error {
+	m.pathTaken.mu.Lock()
+	m.pathTaken.perPoint++
+	m.pathTaken.mu.Unlock()
+	return m.sumPointMapper.MapPoint(ctx, p, emit)
+}
+
+func (m *columnarSumMapper) MapColumns(_ *TaskContext, cols *dfs.ColumnarSplit, _ Emitter) error {
+	m.pathTaken.mu.Lock()
+	m.pathTaken.columnar++
+	m.pathTaken.mu.Unlock()
+	if m.sums == nil {
+		m.sums = make([]float64, cols.Dim())
+	}
+	n := cols.Len()
+	for d := range m.sums {
+		col := cols.Col(d)
+		for j := 0; j < n; j++ {
+			m.sums[d] += col[j]
+		}
+	}
+	return nil
+}
+
+// TestColumnarMapperDispatch: the engine must drive a ColumnarMapper
+// through MapColumns once per split — never MapPoint — unless the job
+// sets DisableColumnar, and input-record accounting must still count
+// points on both paths.
+func TestColumnarMapperDispatch(t *testing.T) {
+	build := func() (*Job, *pathCounts) {
+		fs := dfs.New(64) // several splits
+		var b strings.Builder
+		for i := 0; i < 100; i++ {
+			b.WriteString(dfsFormat(float64(i), float64(2*i)))
+		}
+		fs.Create("/pts", []byte(b.String()))
+		counts := &pathCounts{}
+		job := pointPathJob(fs, 2)
+		job.NewPointMapper = func() PointMapper { return &columnarSumMapper{pathTaken: counts} }
+		return job, counts
+	}
+
+	job, counts := build()
+	splits, err := job.FS.Splits("/pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.columnar != len(splits) || counts.perPoint != 0 {
+		t.Errorf("columnar dispatch: %d MapColumns calls (want %d), %d MapPoint calls (want 0)",
+			counts.columnar, len(splits), counts.perPoint)
+	}
+	if n := res.Counters.Get(CounterMapInputRecords); n != 100 {
+		t.Errorf("map input records = %d, want 100", n)
+	}
+
+	job, counts = build()
+	job.DisableColumnar = true
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts.columnar != 0 || counts.perPoint != 100 {
+		t.Errorf("DisableColumnar: %d MapColumns calls (want 0), %d MapPoint calls (want 100)",
+			counts.columnar, counts.perPoint)
+	}
 }

@@ -16,6 +16,34 @@
 // Keys are int64, exactly as in the paper ("the type of center id is a Java
 // Long"), which is what makes the OFFSET = 2^62 keying trick of
 // KMeansAndFindNewCenters representable.
+//
+// # Contract
+//
+// Input fast paths. Jobs read their input one of three ways, in order of
+// increasing batching: NewMapper feeds text records (offset + line, the
+// TextInputFormat shape); NewPointMapper feeds decoded float64 points
+// served from the DFS split cache, so parsing happens at most once per
+// (file, split); a PointMapper that also implements ColumnarMapper
+// receives each split once, whole, in dim-major form — the layer the
+// batched vec kernels plug into. All three paths must compute the same
+// thing: the fast paths are performance routes, never semantic ones, and
+// the equivalence tests in kmeansmr/core pin bit-identical results across
+// them. Job.DisableColumnar forces the per-point route where a batched
+// kernel does not apply (kd-tree-accelerated lookups) or when pinning the
+// paths against each other.
+//
+// Counter interning. Counters are addressed by name through a string API,
+// but per-record hot loops must not pay a map lookup per tick: intern the
+// name once with InternCounter and tick the returned dense ID through
+// TaskContext.Count. Interned IDs are process-global and stable for the
+// process lifetime.
+//
+// Determinism. For a fixed input layout and job configuration, output is
+// byte-for-byte deterministic regardless of goroutine scheduling: map
+// runs are combined and key-sorted per task, the reduce merge breaks key
+// ties by map-task id, and reducer output concatenates in partition
+// order. Nothing in the engine may trade this away — the node-scaling
+// experiments and every equivalence pin in the repository rely on it.
 package mr
 
 import "gmeansmr/internal/vec"

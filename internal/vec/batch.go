@@ -1,0 +1,224 @@
+package vec
+
+// Batched (dim-major) distance kernels.
+//
+// The scalar kernels in vec.go walk one point at a time: NearestIndex costs
+// one function call and one loop ramp-up per (point, center) pair. The
+// kernels in this file flip the loop nest: callers hand them a whole split
+// of points in column-major (structure-of-arrays) order — coordinate d of
+// point j at colflat[d*n+j] — and one call assigns every point, processing
+// one dimension across a block of points per instruction on hardware with
+// SIMD support (an AVX2 path on amd64, detected at startup) and falling
+// back to a portable Go loop elsewhere.
+//
+// Bit-compatibility contract: every distance these kernels produce is
+// bit-identical to Dist2 on the same operands. Dist2 is unrolled over four
+// accumulator lanes combined as (s0+s1)+(s2+s3); the batch kernels keep the
+// exact same dimension-to-lane assignment (lane d%4 for the unrolled body,
+// lane 0 for the tail) and the same final combine. The SIMD path preserves
+// this because it vectorizes across *points* — each point owns one SIMD
+// slot, so its four lane sums still accumulate one dimension at a time in
+// scalar order, and no fused multiply-add is used (FMA rounds once where
+// mul-then-add rounds twice). NearestBatch therefore selects exactly the
+// index NearestIndex selects, including its tie rule (strictly-closer wins,
+// so the lowest index survives ties) and its degenerate outcome (index -1,
+// +Inf when centers is empty or every distance is non-finite). The vec
+// tests pin this equivalence on both paths.
+//
+// Nothing here allocates per point: scratch lives in BatchScratch and is
+// reusable across calls.
+
+import "math"
+
+// BatchScratch holds the buffers reused across batch-kernel calls. The
+// zero value is ready to use; kernels grow it on demand. A scratch must
+// not be shared by concurrent calls.
+type BatchScratch struct {
+	lanes []float64 // 4 lane arrays of n values each (portable path)
+	idxf  []float64 // best-index-as-float64 buffer (SIMD path blends doubles)
+	point []float64 // one gathered row for tail points
+}
+
+// lanesFor returns the four lane arrays sized for n points.
+func (s *BatchScratch) lanesFor(n int) (l0, l1, l2, l3 []float64) {
+	if cap(s.lanes) < 4*n {
+		s.lanes = make([]float64, 4*n)
+	}
+	b := s.lanes[:4*n]
+	return b[0*n : 1*n : 1*n], b[1*n : 2*n : 2*n], b[2*n : 3*n : 3*n], b[3*n : 4*n : 4*n]
+}
+
+// idxfFor returns the float64 index buffer sized for n points.
+func (s *BatchScratch) idxfFor(n int) []float64 {
+	if cap(s.idxf) < n {
+		s.idxf = make([]float64, n)
+	}
+	return s.idxf[:n]
+}
+
+// pointFor returns a gather buffer for one dim-coordinate row.
+func (s *BatchScratch) pointFor(dim int) []float64 {
+	if cap(s.point) < dim {
+		s.point = make([]float64, dim)
+	}
+	return s.point[:dim]
+}
+
+// accumulateLanes fills the lane arrays with the per-lane partial sums of
+// squared differences between every point of colflat and center. After it
+// returns, Dist2(point j, center) == (l0[j]+l1[j])+(l2[j]+l3[j]) bit-for-bit.
+func accumulateLanes(center Vector, colflat []float64, n int, l0, l1, l2, l3 []float64) {
+	dim := len(center)
+	if dim < 4 {
+		// The whole vector is Dist2's tail loop: everything accumulates in
+		// lane 0, and the other lanes contribute zero to the combine.
+		for j := range l0[:n] {
+			l0[j], l1[j], l2[j], l3[j] = 0, 0, 0, 0
+		}
+		for d := 0; d < dim; d++ {
+			c := center[d]
+			x := colflat[d*n : d*n+n : d*n+n]
+			acc := l0[:n]
+			for j, v := range x {
+				e := v - c
+				acc[j] += e * e
+			}
+		}
+		return
+	}
+	for d := 0; d+4 <= dim; d += 4 {
+		c0, c1, c2, c3 := center[d], center[d+1], center[d+2], center[d+3]
+		x0 := colflat[(d+0)*n : (d+0)*n+n : (d+0)*n+n]
+		x1 := colflat[(d+1)*n : (d+1)*n+n : (d+1)*n+n]
+		x2 := colflat[(d+2)*n : (d+2)*n+n : (d+2)*n+n]
+		x3 := colflat[(d+3)*n : (d+3)*n+n : (d+3)*n+n]
+		if d == 0 {
+			// The first dimension group initializes the lanes, so the
+			// scratch never needs a separate zeroing pass.
+			for j := range x0 {
+				e0 := x0[j] - c0
+				e1 := x1[j] - c1
+				e2 := x2[j] - c2
+				e3 := x3[j] - c3
+				l0[j] = e0 * e0
+				l1[j] = e1 * e1
+				l2[j] = e2 * e2
+				l3[j] = e3 * e3
+			}
+			continue
+		}
+		for j := range x0 {
+			e0 := x0[j] - c0
+			e1 := x1[j] - c1
+			e2 := x2[j] - c2
+			e3 := x3[j] - c3
+			l0[j] += e0 * e0
+			l1[j] += e1 * e1
+			l2[j] += e2 * e2
+			l3[j] += e3 * e3
+		}
+	}
+	// Tail dimensions accumulate into lane 0, exactly like Dist2's tail loop.
+	for d := dim - dim%4; d < dim; d++ {
+		c := center[d]
+		x := colflat[d*n : d*n+n : d*n+n]
+		acc := l0[:n]
+		for j, v := range x {
+			e := v - c
+			acc[j] += e * e
+		}
+	}
+}
+
+// Dist2Batch writes Dist2(point j, center) into out[j] for each of the n
+// points stored dim-major in colflat (coordinate d of point j at
+// colflat[d*n+j]). Results are bit-identical to calling Dist2 per point.
+// It panics when colflat or out cannot hold n points of len(center)
+// coordinates. A nil scratch allocates a fresh one.
+func Dist2Batch(center Vector, colflat []float64, n int, out []float64, s *BatchScratch) {
+	checkBatchShape(len(center), colflat, n)
+	if len(out) < n {
+		panic("vec: Dist2Batch out slice too short")
+	}
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	l0, l1, l2, l3 := s.lanesFor(n)
+	accumulateLanes(center, colflat, n, l0, l1, l2, l3)
+	for j := 0; j < n; j++ {
+		out[j] = (l0[j] + l1[j]) + (l2[j] + l3[j])
+	}
+}
+
+// nearestTilePoints is the point-tile width of the SIMD path: tiles are
+// sized so one tile's columns stay cache-resident while every center
+// streams over it, instead of every center re-streaming the whole split.
+const nearestTilePoints = 256
+
+// NearestBatch assigns each of the n dim-major points of colflat to its
+// nearest center: idx[j] receives the index of the nearest center to point
+// j and dist[j] the squared distance, exactly the values NearestIndex
+// returns for the same point (same bits, same tie rule, and idx[j] = -1
+// with dist[j] = +Inf when centers is empty or every distance is
+// non-finite). One call replaces n·k scalar Dist2 calls. A nil scratch
+// allocates a fresh one.
+func NearestBatch(centers []Vector, colflat []float64, n int, idx []int32, dist []float64, s *BatchScratch) {
+	if len(idx) < n || len(dist) < n {
+		panic("vec: NearestBatch idx/dist slices too short")
+	}
+	dim := 0
+	if len(centers) > 0 {
+		dim = len(centers[0])
+		checkBatchShape(dim, colflat, n)
+	}
+	inf := math.Inf(1)
+	for j := 0; j < n; j++ {
+		idx[j], dist[j] = -1, inf
+	}
+	if len(centers) == 0 || n == 0 {
+		return
+	}
+	if s == nil {
+		s = &BatchScratch{}
+	}
+	if dim > 0 && nearestBatchAccel(centers, colflat, n, idx, dist, s) {
+		return
+	}
+	l0, l1, l2, l3 := s.lanesFor(n)
+	for c, center := range centers {
+		accumulateLanes(center, colflat, n, l0, l1, l2, l3)
+		cc := int32(c)
+		dd := dist[:n]
+		ii := idx[:n]
+		for j := range dd {
+			d2 := (l0[j] + l1[j]) + (l2[j] + l3[j])
+			if d2 < dd[j] {
+				dd[j], ii[j] = d2, cc
+			}
+		}
+	}
+}
+
+// nearestBatchTail assigns the points the SIMD tile loop did not cover
+// (at most 3, when n is not a multiple of the SIMD width) by gathering
+// each row and running the scalar kernel — bit-identical by construction.
+func nearestBatchTail(centers []Vector, colflat []float64, n, from int, idx []int32, dist []float64, s *BatchScratch) {
+	dim := len(centers[0])
+	p := s.pointFor(dim)
+	for j := from; j < n; j++ {
+		for d := 0; d < dim; d++ {
+			p[d] = colflat[d*n+j]
+		}
+		bi, bd := NearestIndex(p, centers)
+		idx[j], dist[j] = int32(bi), bd
+	}
+}
+
+// checkBatchShape panics unless colflat holds exactly n points of dim
+// coordinates. Shape mismatches are programming errors, as elsewhere in
+// this package.
+func checkBatchShape(dim int, colflat []float64, n int) {
+	if n < 0 || len(colflat) != dim*n {
+		panic("vec: dim-major buffer does not hold n points of the center's dimensionality")
+	}
+}

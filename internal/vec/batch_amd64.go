@@ -1,0 +1,78 @@
+//go:build amd64
+
+package vec
+
+// AVX2 dispatch for the batched nearest-center kernel. The assembly tile
+// kernel (batch_amd64.s) vectorizes across points — four points per ymm
+// register, one SIMD slot each — so every point's four lane sums still
+// accumulate one dimension at a time in Dist2's scalar order, and no FMA
+// is emitted. That is what keeps the SIMD results bit-identical to the
+// scalar kernel (see the package contract in batch.go).
+
+// nearestTileAVX2 processes one tile of m points (m > 0, multiple of 4)
+// against one center: for each tile point jj (coordinate d of point jj at
+// col[d*stride+jj]) it computes d2 = Dist2(point jj, center) and folds
+// d2 < dist[jj] into dist[jj]/idxf[jj], writing cidx (the center's index
+// as a float64) on improvement.
+//
+//go:noescape
+func nearestTileAVX2(center *float64, dim int, col *float64, stride, m int, cidx float64, dist, idxf *float64)
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the OS-enabled SIMD state).
+func xgetbv() (eax, edx uint32)
+
+// useAVX2 reports whether the CPU and OS support the AVX2 tile kernel.
+var useAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 and 2: the OS saves/restores XMM and YMM state.
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// nearestBatchAccel runs the AVX2 tile kernel over every 4-point-aligned
+// prefix tile of the split and the scalar kernel over the ≤3 remaining
+// points. It reports false (caller falls back to the portable kernel)
+// when the hardware lacks AVX2 or the split is too small to tile.
+func nearestBatchAccel(centers []Vector, colflat []float64, n int, idx []int32, dist []float64, s *BatchScratch) bool {
+	if !useAVX2 || n < 4 {
+		return false
+	}
+	dim := len(centers[0])
+	idxf := s.idxfFor(n)
+	for j := range idxf {
+		idxf[j] = -1
+	}
+	m := n &^ 3
+	for t := 0; t < m; t += nearestTilePoints {
+		tl := nearestTilePoints
+		if m-t < tl {
+			tl = m - t
+		}
+		for c := range centers {
+			nearestTileAVX2(&centers[c][0], dim, &colflat[t], n, tl, float64(c), &dist[t], &idxf[t])
+		}
+	}
+	for j := 0; j < m; j++ {
+		idx[j] = int32(idxf[j])
+	}
+	if m < n {
+		nearestBatchTail(centers, colflat, n, m, idx, dist, s)
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func nearestTileAVX2(center *float64, dim int, col *float64, stride, m int, cidx float64, dist, idxf *float64)
+//
+// One tile of m points (m > 0, multiple of 4) against one center.
+// Coordinate d of tile point jj lives at col[d*stride + jj]. For each jj:
+//
+//	d2 = Dist2(point jj, center)        // 4-lane bit pattern, no FMA
+//	if d2 < dist[jj] { dist[jj] = d2; idxf[jj] = cidx }
+//
+// Four points ride in one ymm register, one SIMD slot each, so every
+// point's lane sums accumulate dimensions in exactly Dist2's scalar order:
+// lane d%4 for the unrolled body, lane 0 for the dim%4 tail, combined as
+// (s0+s1)+(s2+s3). VSUBPD/VMULPD/VADDPD round identically to the scalar
+// ops; FMA is deliberately not used (it rounds once where mul-then-add
+// rounds twice).
+TEXT ·nearestTileAVX2(SB), NOSPLIT, $0-64
+	MOVQ center+0(FP), SI
+	MOVQ dim+8(FP), DX
+	MOVQ col+16(FP), BX
+	MOVQ stride+24(FP), CX
+	MOVQ m+32(FP), DI
+	VBROADCASTSD cidx+40(FP), Y15
+	MOVQ dist+48(FP), R8
+	MOVQ idxf+56(FP), R9
+
+	SHLQ $3, CX              // stride in bytes
+	LEAQ (CX)(CX*2), R14     // 3*stride in bytes
+	XORQ R10, R10            // byte offset of the current 4-point group
+
+outer:
+	// Lane accumulators for 4 points (slot = point, register = lane).
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	LEAQ (BX)(R10*1), R11    // &col[jj]
+	MOVQ SI, R12             // center cursor
+	MOVQ DX, R13             // dimensions remaining
+
+d4loop:
+	CMPQ R13, $4
+	JLT  dtail
+
+	VBROADCASTSD (R12), Y4
+	VMOVUPD      (R11), Y5
+	VSUBPD       Y4, Y5, Y5
+	VMULPD       Y5, Y5, Y5
+	VADDPD       Y5, Y0, Y0
+
+	VBROADCASTSD 8(R12), Y4
+	VMOVUPD      (R11)(CX*1), Y5
+	VSUBPD       Y4, Y5, Y5
+	VMULPD       Y5, Y5, Y5
+	VADDPD       Y5, Y1, Y1
+
+	VBROADCASTSD 16(R12), Y4
+	VMOVUPD      (R11)(CX*2), Y5
+	VSUBPD       Y4, Y5, Y5
+	VMULPD       Y5, Y5, Y5
+	VADDPD       Y5, Y2, Y2
+
+	VBROADCASTSD 24(R12), Y4
+	VMOVUPD      (R11)(R14*1), Y5
+	VSUBPD       Y4, Y5, Y5
+	VMULPD       Y5, Y5, Y5
+	VADDPD       Y5, Y3, Y3
+
+	ADDQ $32, R12
+	LEAQ (R11)(CX*4), R11
+	SUBQ $4, R13
+	JMP  d4loop
+
+dtail:
+	TESTQ R13, R13
+	JZ    combine
+
+tailloop:
+	// Dist2's tail loop: remaining dimensions accumulate into lane 0.
+	VBROADCASTSD (R12), Y4
+	VMOVUPD      (R11), Y5
+	VSUBPD       Y4, Y5, Y5
+	VMULPD       Y5, Y5, Y5
+	VADDPD       Y5, Y0, Y0
+	ADDQ         $8, R12
+	ADDQ         CX, R11
+	DECQ         R13
+	JNZ          tailloop
+
+combine:
+	VADDPD Y1, Y0, Y0        // s0+s1
+	VADDPD Y3, Y2, Y2        // s2+s3
+	VADDPD Y2, Y0, Y0        // d2 = (s0+s1)+(s2+s3)
+
+	// Fold into the running best: strict less-than (predicate 1, LT_OS)
+	// keeps the lowest center index on ties and never accepts NaN/Inf
+	// over Inf, matching NearestIndex.
+	VMOVUPD   (R8)(R10*1), Y6
+	VCMPPD    $1, Y6, Y0, Y7
+	VBLENDVPD Y7, Y0, Y6, Y6
+	VMOVUPD   Y6, (R8)(R10*1)
+	VMOVUPD   (R9)(R10*1), Y8
+	VBLENDVPD Y7, Y15, Y8, Y8
+	VMOVUPD   Y8, (R9)(R10*1)
+
+	ADDQ $32, R10
+	SUBQ $4, DI
+	JNZ  outer
+
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package vec
+
+// nearestBatchAccel has no accelerated implementation on this
+// architecture; NearestBatch always takes the portable kernel.
+func nearestBatchAccel([]Vector, []float64, int, []int32, []float64, *BatchScratch) bool {
+	return false
+}

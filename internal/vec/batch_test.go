@@ -1,0 +1,202 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeBatch builds n random points of dim coordinates in both layouts:
+// row-major [][]float64 and dim-major flat (colflat[d*n+j]).
+func makeBatch(n, dim int, seed int64) (rows []Vector, colflat []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	rows = make([]Vector, n)
+	colflat = make([]float64, dim*n)
+	for j := range rows {
+		p := make(Vector, dim)
+		for d := range p {
+			p[d] = rng.NormFloat64() * 50
+			colflat[d*n+j] = p[d]
+		}
+		rows[j] = p
+	}
+	return rows, colflat
+}
+
+func makeCenters(k, dim int, seed int64) []Vector {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Vector, k)
+	for i := range centers {
+		c := make(Vector, dim)
+		for d := range c {
+			c[d] = rng.NormFloat64() * 50
+		}
+		centers[i] = c
+	}
+	return centers
+}
+
+// TestDist2BatchMatchesDist2 pins the bit-identity contract across the
+// dimension regimes the kernel special-cases: pure tail (dim<4), exact
+// unroll multiples, and unroll+tail.
+func TestDist2BatchMatchesDist2(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 5, 7, 8, 10, 15, 16, 17, 31, 32, 33, 40} {
+		rows, colflat := makeBatch(137, dim, int64(dim))
+		center := makeCenters(1, dim, int64(dim)+100)[0]
+		out := make([]float64, len(rows))
+		var s BatchScratch
+		Dist2Batch(center, colflat, len(rows), out, &s)
+		for j, p := range rows {
+			if want := Dist2(p, center); out[j] != want {
+				t.Fatalf("dim %d point %d: Dist2Batch %v, Dist2 %v", dim, j, out[j], want)
+			}
+		}
+		// Reused scratch must not leak state between calls.
+		Dist2Batch(center, colflat, len(rows), out, &s)
+		for j, p := range rows {
+			if want := Dist2(p, center); out[j] != want {
+				t.Fatalf("dim %d point %d after scratch reuse: got %v want %v", dim, j, out[j], want)
+			}
+		}
+	}
+}
+
+// TestNearestBatchMatchesNearestIndex pins index and distance bit-identity
+// against the scalar path on both sides of the early-exit threshold.
+func TestNearestBatchMatchesNearestIndex(t *testing.T) {
+	for _, tc := range []struct{ n, dim, k int }{
+		{200, 3, 7}, {200, 10, 16}, {150, 16, 32}, {150, 33, 5}, {1, 8, 1},
+	} {
+		rows, colflat := makeBatch(tc.n, tc.dim, int64(tc.n))
+		centers := makeCenters(tc.k, tc.dim, int64(tc.dim))
+		idx := make([]int32, tc.n)
+		dist := make([]float64, tc.n)
+		NearestBatch(centers, colflat, tc.n, idx, dist, nil)
+		for j, p := range rows {
+			wi, wd := NearestIndex(p, centers)
+			if int(idx[j]) != wi || dist[j] != wd {
+				t.Fatalf("n=%d dim=%d k=%d point %d: batch (%d, %v), scalar (%d, %v)",
+					tc.n, tc.dim, tc.k, j, idx[j], dist[j], wi, wd)
+			}
+		}
+	}
+}
+
+// TestNearestBatchTies pins the tie rule: duplicated centers must resolve
+// to the lowest index, as in NearestIndex. Five identical points put four
+// through the accelerated tile path (on hardware that has one) and one
+// through the scalar tail, so the rule is pinned on both.
+func TestNearestBatchTies(t *testing.T) {
+	const n = 5
+	c := Vector{1, 2, 3, 4}
+	centers := []Vector{Clone(c), Clone(c), Clone(c)}
+	colflat := make([]float64, len(c)*n)
+	for d, v := range c {
+		for j := 0; j < n; j++ {
+			colflat[d*n+j] = v // every point equal to every center
+		}
+	}
+	idx := make([]int32, n)
+	dist := make([]float64, n)
+	NearestBatch(centers, colflat, n, idx, dist, nil)
+	for j := 0; j < n; j++ {
+		if idx[j] != 0 || dist[j] != 0 {
+			t.Fatalf("point %d: tie resolved to (%d, %v), want (0, 0)", j, idx[j], dist[j])
+		}
+	}
+}
+
+// TestNearestBatchDegenerate covers the empty-center and all-non-finite
+// cases that the mappers' best<0 guard depends on — again with enough
+// points that the accelerated path processes some of them (its fold must
+// never accept an Inf distance over the Inf sentinel).
+func TestNearestBatchDegenerate(t *testing.T) {
+	const n = 5
+	idx := make([]int32, n)
+	dist := make([]float64, n)
+	colflat := []float64{1, 2, 3, 4, 5} // five 1-d points
+	NearestBatch(nil, colflat, n, idx, dist, nil)
+	for j := range idx {
+		if idx[j] != -1 || !math.IsInf(dist[j], 1) {
+			t.Fatalf("empty centers: point %d got (%d, %v)", j, idx[j], dist[j])
+		}
+	}
+	huge := math.MaxFloat64
+	centers := []Vector{{huge, -huge, huge, -huge}}
+	far := Vector{-huge, huge, -huge, huge} // every squared diff overflows to +Inf
+	colflat = make([]float64, len(far)*n)
+	for d, v := range far {
+		for j := 0; j < n; j++ {
+			colflat[d*n+j] = v
+		}
+	}
+	NearestBatch(centers, colflat, n, idx, dist, nil)
+	for j := range idx {
+		wi, wd := NearestIndex(far, centers)
+		if int(idx[j]) != wi || dist[j] != wd {
+			t.Fatalf("overflow case point %d: batch (%d, %v), scalar (%d, %v)", j, idx[j], dist[j], wi, wd)
+		}
+		if idx[j] != -1 {
+			t.Fatalf("all-distances-Inf point %d should stay unassigned, got %d", j, idx[j])
+		}
+	}
+}
+
+func TestBatchShapePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"short colflat": func() {
+			Dist2Batch(Vector{1, 2}, []float64{1, 2, 3}, 2, make([]float64, 2), nil)
+		},
+		"short out": func() {
+			Dist2Batch(Vector{1, 2}, []float64{1, 2, 3, 4}, 2, make([]float64, 1), nil)
+		},
+		"short idx": func() {
+			NearestBatch([]Vector{{1}}, []float64{1, 2}, 2, make([]int32, 1), make([]float64, 2), nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// benchNearest compares the scalar per-point assignment loop (what the
+// row-major mapper path does per split) against one fused batch call.
+func benchNearest(b *testing.B, n, dim, k int) {
+	rows, colflat := makeBatch(n, dim, 1)
+	centers := makeCenters(k, dim, 2)
+	idx := make([]int32, n)
+	dist := make([]float64, n)
+	var s BatchScratch
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, p := range rows {
+				bi, bd := NearestIndex(p, centers)
+				idx[j], dist[j] = int32(bi), bd
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NearestBatch(centers, colflat, n, idx, dist, &s)
+		}
+	})
+}
+
+func BenchmarkNearestBatch(b *testing.B) {
+	for _, tc := range []struct{ n, dim, k int }{
+		{8192, 16, 32}, {8192, 32, 32}, {8192, 10, 16}, {8192, 64, 32},
+	} {
+		b.Run(benchName(tc.n, tc.dim, tc.k), func(b *testing.B) { benchNearest(b, tc.n, tc.dim, tc.k) })
+	}
+}
+
+func benchName(n, dim, k int) string {
+	return fmt.Sprintf("n=%d/d=%d/k=%d", n, dim, k)
+}

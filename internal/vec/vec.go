@@ -1,12 +1,37 @@
 // Package vec provides the small dense-vector kernel used throughout the
 // repository: Euclidean geometry in R^d over []float64, plus the projection
-// primitive that G-means uses to reduce each cluster to one dimension.
+// primitive that G-means uses to reduce each cluster to one dimension, and
+// the batched dim-major kernels (batch.go) that assign a whole split of
+// points per call.
 //
 // All functions treat their inputs as read-only unless the doc comment says
 // otherwise. Vectors of mismatching dimensionality cause a panic: dimension
 // mismatches are programming errors, not runtime conditions, and every
 // caller in this module constructs vectors of a single dimensionality per
 // dataset.
+//
+// # Kernel bit-compatibility
+//
+// Floating-point addition is not associative, so kernel variants that
+// reassociate sums return different low-order bits — and the repository's
+// equivalence pins (cached vs legacy path, text vs binary, columnar vs
+// row-major) demand exact ones. The rules:
+//
+//   - Dist2 is the reference: four accumulator lanes over dimensions
+//     (lane d%4 in the unrolled body, lane 0 for the tail), combined as
+//     (s0+s1)+(s2+s3).
+//   - Every other distance path reproduces those bits exactly: the
+//     early-exit scan (dist2Below) replicates the lane structure; the
+//     batch kernels (Dist2Batch, NearestBatch) keep one lane set per
+//     point, vectorizing across points, and use no fused multiply-add
+//     (FMA rounds once where mul-then-add rounds twice). The vec tests
+//     pin all of this.
+//   - Nearest-center selection is strictly-closer-wins everywhere, so
+//     ties resolve to the lowest center index on every path.
+//   - Across releases: the 4-lane unroll landed in PR 3; results differ
+//     in low-order bits from the older sequential kernel for dim ≥ 4.
+//     Any future kernel (SIMD included) must either replicate the lane
+//     structure or accept re-pinning every equivalence test.
 package vec
 
 import (
