@@ -22,6 +22,7 @@ import (
 	"gmeansmr/internal/lloyd"
 	"gmeansmr/internal/model"
 	"gmeansmr/internal/mr"
+	"gmeansmr/internal/obs"
 	"gmeansmr/internal/seqgmeans"
 	"gmeansmr/internal/serve"
 	"gmeansmr/internal/stats"
@@ -483,6 +484,22 @@ func BenchmarkIterationHotPath(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := kmeansmr.Iterate(env, centers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(spec.N), "points")
+	})
+	// The observability gate: the same cached iteration with a live trace
+	// attached. Instrumentation is batch-level only (task and phase spans,
+	// never per record), so this must stay within noise of cached-inmapper —
+	// CI enforces <2% (see ci.yml).
+	b.Run("cached-inmapper-observed", func(b *testing.B) {
+		tracedEnv := env
+		tracedEnv.Trace = obs.NewTrace()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tracedEnv.Trace.Reset()
+			if _, err := kmeansmr.Iterate(tracedEnv, centers); err != nil {
 				b.Fatal(err)
 			}
 		}

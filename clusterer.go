@@ -14,6 +14,7 @@ import (
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/lloyd"
 	"gmeansmr/internal/mr"
+	"gmeansmr/internal/obs"
 	"gmeansmr/internal/seqgmeans"
 	"gmeansmr/internal/vec"
 	"gmeansmr/internal/xmeans"
@@ -78,8 +79,15 @@ type Progress struct {
 	// Counters snapshots the engine's cumulative cost accounting at event
 	// time (MR algorithms only; nil elsewhere).
 	Counters map[string]int64
-	// Duration is the wall time of the round, when the algorithm tracks it.
+	// Duration is the wall time of this round alone, when the algorithm
+	// tracks it — never a cumulative total. Every emitting algorithm uses
+	// the same per-round semantics (MR G-means rounds, multi-k-means
+	// iterations including their driver-side center updates, the merge
+	// round), so durations from different algorithms chart comparably.
 	Duration time.Duration
+	// Phases breaks Duration down by round phase (MR G-means only:
+	// "kmeans", "kfnc", "test"); nil elsewhere.
+	Phases map[string]time.Duration
 }
 
 // Result.Counters keys for the cost quantities of the paper's model.
@@ -118,6 +126,9 @@ type config struct {
 	multiIters  int
 	criterion   Criterion
 	progress    func(Progress)
+	traceW      io.Writer
+	traceJSONW  io.Writer
+	observer    *obs.Registry
 
 	err error // first option error, surfaced by New
 }
@@ -277,6 +288,48 @@ func WithProgress(fn func(Progress)) Option {
 	return func(c *config) { c.progress = fn }
 }
 
+// WithTrace records a span trace of each Run — driver phases, rounds,
+// MapReduce phases and per-task spans — and writes it to w in Chrome
+// trace-event format when the run completes (load the file in
+// chrome://tracing or https://ui.perfetto.dev). Spans are batch-level
+// only, never per record.
+func WithTrace(w io.Writer) Option {
+	return func(c *config) {
+		if w == nil {
+			c.setErr(fmt.Errorf("gmeansmr: WithTrace requires a non-nil writer"))
+			return
+		}
+		c.traceW = w
+	}
+}
+
+// WithTraceJSON is WithTrace in the JSON event-log format (absolute
+// timestamps, one object per span) for programmatic consumers. Both
+// options may be set; one recorder feeds both writers.
+func WithTraceJSON(w io.Writer) Option {
+	return func(c *config) {
+		if w == nil {
+			c.setErr(fmt.Errorf("gmeansmr: WithTraceJSON requires a non-nil writer"))
+			return
+		}
+		c.traceJSONW = w
+	}
+}
+
+// WithObserver registers a metrics registry the run ticks: per-round and
+// per-phase latency histograms, round counters, an active-clusters gauge.
+// The same registry can back a /metrics endpoint (see Registry and
+// cmd/gmeans -debug-addr).
+func WithObserver(r *Registry) Option {
+	return func(c *config) {
+		if r == nil {
+			c.setErr(fmt.Errorf("gmeansmr: WithObserver requires a non-nil registry"))
+			return
+		}
+		c.observer = r
+	}
+}
+
 func (c *config) setErr(err error) {
 	if c.err == nil {
 		c.err = err
@@ -344,16 +397,53 @@ func (c *Clusterer) Run(ctx context.Context, src DataSource) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// One span recorder per run (the Clusterer itself is immutable and
+	// reusable); it only exists when a trace writer asked for it, so
+	// untraced runs thread a nil *Trace whose spans cost a pointer test.
+	var tr *obs.Trace
+	if c.cfg.traceW != nil || c.cfg.traceJSONW != nil {
+		tr = obs.NewTrace()
+	}
+	runSpan := tr.StartSpan("clusterer-run", "run").SetArg("algorithm", string(c.cfg.algorithm))
+	res, err := c.dispatch(ctx, src, tr)
+	runSpan.End()
+	if werr := c.writeTrace(tr); werr != nil && err == nil {
+		return nil, werr
+	}
+	return res, err
+}
+
+func (c *Clusterer) dispatch(ctx context.Context, src DataSource, tr *obs.Trace) (*Result, error) {
 	switch c.cfg.algorithm {
 	case AlgorithmSeqGMeans:
 		return c.runSeqGMeans(ctx, src)
 	case AlgorithmXMeans:
 		return c.runXMeans(ctx, src)
 	case AlgorithmMultiK:
-		return c.runMultiK(ctx, src)
+		return c.runMultiK(ctx, src, tr)
 	default:
-		return c.runGMeansMR(ctx, src)
+		return c.runGMeansMR(ctx, src, tr)
 	}
+}
+
+// writeTrace exports the run's spans to the configured writers. Traces
+// are written even for failed runs — a trace of the phases that did run
+// is exactly what diagnosing the failure needs.
+func (c *Clusterer) writeTrace(tr *obs.Trace) error {
+	if tr == nil {
+		return nil
+	}
+	if c.cfg.traceW != nil {
+		if err := tr.WriteChromeTrace(c.cfg.traceW); err != nil {
+			return fmt.Errorf("gmeansmr: writing trace: %w", err)
+		}
+	}
+	if c.cfg.traceJSONW != nil {
+		if err := tr.WriteJSON(c.cfg.traceJSONW); err != nil {
+			return fmt.Errorf("gmeansmr: writing trace event log: %w", err)
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -371,7 +461,9 @@ const stagedPath = "/data/points.txt"
 // stage streams src into a fresh simulated DFS — validating dimensionality
 // and finiteness point by point, never materializing the dataset — and
 // right-sizes the splits so every map slot gets a few tasks.
-func (c *Clusterer) stage(ctx context.Context, src DataSource) (*staged, error) {
+func (c *Clusterer) stage(ctx context.Context, src DataSource, tr *obs.Trace) (*staged, error) {
+	stageSpan := tr.StartSpan("stage", "phase")
+	defer stageSpan.End()
 	cluster := mr.DefaultCluster()
 	if c.cfg.nodes > 0 {
 		cluster = cluster.WithNodes(c.cfg.nodes)
@@ -421,9 +513,11 @@ func (c *Clusterer) stage(ctx context.Context, src DataSource) (*staged, error) 
 		}
 		fs.SetSplitSize(split)
 	}
+	stageSpan.SetArg("points", n).SetArg("dim", dim)
 	env := kmeansmr.Env{
 		FS: fs, Cluster: cluster, Input: stagedPath,
 		Dim: dim, UseKDTree: c.cfg.useKDTree, Ctx: ctx,
+		Trace: tr,
 	}
 	return &staged{env: env, n: n}, nil
 }
@@ -432,8 +526,8 @@ func (c *Clusterer) stage(ctx context.Context, src DataSource) (*staged, error) 
 // Algorithm backends
 // ---------------------------------------------------------------------------
 
-func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource) (*Result, error) {
-	st, err := c.stage(ctx, src)
+func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource, tr *obs.Trace) (*Result, error) {
+	st, err := c.stage(ctx, src, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -448,8 +542,21 @@ func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource) (*Result, e
 	if c.cfg.mergeRadius > 0 {
 		cfg.MergeRadius = c.cfg.mergeRadius
 	}
-	if c.cfg.progress != nil {
+	if c.cfg.progress != nil || c.cfg.observer != nil {
+		reg := c.cfg.observer // nil-safe: handles no-op without a registry
 		cfg.Progress = func(it core.IterationStats, counters map[string]int64) {
+			if it.Strategy == core.StrategyMerge {
+				// The closing merge is not a test round; count it apart so
+				// gmeans_rounds_total matches Result.Iterations.
+				reg.Counter("gmeans_merges_total").Inc()
+			} else {
+				reg.Counter("gmeans_rounds_total").Inc()
+				reg.Gauge("gmeans_active_clusters").Set(int64(it.ActiveBefore))
+				reg.Histogram("gmeans_round_seconds", nil).Observe(it.Duration.Seconds())
+				for phase, d := range it.Phases {
+					reg.Histogram(`gmeans_phase_seconds{phase="`+phase+`"}`, nil).Observe(d.Seconds())
+				}
+			}
 			c.cfg.emit(Progress{
 				Round:    it.Iteration,
 				K:        it.FoundAfter,
@@ -457,6 +564,7 @@ func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource) (*Result, e
 				Strategy: string(it.Strategy),
 				Counters: counters,
 				Duration: it.Duration,
+				Phases:   it.Phases,
 			})
 		}
 	}
@@ -464,24 +572,38 @@ func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	centers := res.Centers
-	if c.cfg.mergeRadius == MergeAuto {
-		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
-	}
+	finSpan := tr.StartSpan("finalize", "phase")
 	counters := res.Counters.Snapshot()
 	counters[CounterDatasetReads] = st.env.FS.DatasetReads()
-	return &Result{
+	centers := res.Centers
+	if c.cfg.mergeRadius == MergeAuto {
+		// The auto-radius merge runs here rather than in core (the radius
+		// derives from the discovered centers); report it as the same
+		// merge round an explicit radius gets from the driver.
+		mergeStart := time.Now()
+		centers = core.MergeCloseCenters(centers, core.SuggestMergeRadius(centers))
+		c.cfg.emit(Progress{
+			Round:    res.Iterations + 1,
+			K:        len(centers),
+			Strategy: string(core.StrategyMerge),
+			Counters: counters,
+			Duration: time.Since(mergeStart),
+		})
+	}
+	out := &Result{
 		Algorithm:  AlgorithmGMeansMR,
 		Centers:    centers,
 		K:          len(centers),
 		Iterations: res.Iterations,
 		Assignment: assignIfAvailable(src, centers),
 		Counters:   counters,
-	}, nil
+	}
+	finSpan.End()
+	return out, nil
 }
 
-func (c *Clusterer) runMultiK(ctx context.Context, src DataSource) (*Result, error) {
-	st, err := c.stage(ctx, src)
+func (c *Clusterer) runMultiK(ctx context.Context, src DataSource, tr *obs.Trace) (*Result, error) {
+	st, err := c.stage(ctx, src, tr)
 	if err != nil {
 		return nil, err
 	}

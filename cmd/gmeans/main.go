@@ -10,18 +10,27 @@
 //	gmeans -nodes 4 -v d100.txt
 //	gmeans -algo seq-gmeans d100.txt
 //	gmeans -timeout 30s d100.txt   # bound the run; cancels between MR waves
+//
+// Observability: -trace writes a Chrome-trace file of the run's phase and
+// task spans (open it at chrome://tracing or https://ui.perfetto.dev), and
+// -debug-addr serves live /metrics and /debug/pprof while the run is hot:
+//
+//	gmeans -trace trace.json -debug-addr :6060 d100.txt
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	gmeansmr "gmeansmr"
 	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/obs"
 )
 
 func main() {
@@ -42,6 +51,8 @@ func main() {
 		strategy = flag.String("strategy", "", "pin the test strategy: TestClusters or TestFewClusters")
 		useTree  = flag.Bool("kdtree", false, "accelerate nearest-center queries with a k-d tree")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		tracing  = flag.String("trace", "", "write a Chrome-trace file of the run's spans here")
+		debug    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,6 +95,24 @@ func main() {
 				p.Round, p.Strategy, p.K, p.Active, p.Duration.Round(time.Millisecond))
 		}))
 	}
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *tracing != "" {
+		f, err := os.Create(*tracing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile, traceBuf = f, bufio.NewWriter(f)
+		opts = append(opts, gmeansmr.WithTrace(traceBuf))
+	}
+	if *debug != "" {
+		reg := gmeansmr.NewRegistry()
+		opts = append(opts, gmeansmr.WithObserver(reg))
+		go func() {
+			log.Printf("debug endpoints on %s (/metrics, /debug/pprof/)", *debug)
+			log.Fatal(http.ListenAndServe(*debug, obs.DebugMux(reg)))
+		}()
+	}
 
 	c, err := gmeansmr.New(opts...)
 	if err != nil {
@@ -99,6 +128,17 @@ func main() {
 
 	start := time.Now()
 	res, err := c.Run(ctx, gmeansmr.FromFile(flag.Arg(0)))
+	if traceFile != nil {
+		// Run wrote the trace into the buffer even if it failed partway.
+		if ferr := traceBuf.Flush(); ferr != nil {
+			log.Printf("flushing trace: %v", ferr)
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			log.Printf("closing trace: %v", cerr)
+		} else if err == nil {
+			fmt.Printf("trace written to %s\n", *tracing)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	gmeansmr "gmeansmr"
+	"gmeansmr/internal/obs"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		maxK      = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
 		savePath  = flag.String("save", "", "write the trained model snapshot here")
 		timeout   = flag.Duration("timeout", 0, "abort training after this long (0 = no limit)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,15 @@ func main() {
 	srv, err := gmeansmr.NewServer(m, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		// The debug listener exposes the server's own metrics registry
+		// (assign latencies, in-flight gauge, swap counter) plus pprof,
+		// kept off the serving address so it can stay firewalled.
+		go func() {
+			log.Printf("debug endpoints on %s (/metrics, /debug/pprof/)", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, obs.DebugMux(srv.Metrics())))
+		}()
 	}
 	log.Printf("listening on %s", *addr)
 	hs := &http.Server{

@@ -67,8 +67,18 @@ import (
 	"gmeansmr/internal/dataset"
 	"gmeansmr/internal/model"
 	"gmeansmr/internal/mr"
+	"gmeansmr/internal/obs"
 	"gmeansmr/internal/serve"
 )
+
+// Registry is a dependency-free metrics registry (counters, gauges,
+// fixed-bucket latency histograms with p50/p95/p99) that exports in
+// Prometheus text format. Pass one to WithObserver to collect run metrics,
+// and to a debug HTTP endpoint to expose them (see cmd/gmeans -debug-addr).
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry for WithObserver.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Point is a point in R^d.
 type Point = []float64

@@ -74,6 +74,10 @@ const (
 	// StrategyReducer tests inside the reducer on all projections of a
 	// cluster (the paper's Algorithms 3–4).
 	StrategyReducer TestStrategy = "TestClusters"
+	// StrategyMerge labels the Progress event of the post-processing
+	// merge round (MergeCloseCenters); it is not a normality test and
+	// never appears in Result.PerIteration.
+	StrategyMerge TestStrategy = "merge"
 )
 
 // Config parameterizes an MR G-means run.

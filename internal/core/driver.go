@@ -54,12 +54,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 	res := &Result{Counters: mr.NewCounters()}
+	trace := cfg.Env.Trace
+	runSpan := trace.StartSpan("gmeans-run", "run")
+	defer runSpan.End()
 
+	initSpan := trace.StartSpan("init", "phase")
 	active, err := pickInitialCenters(cfg)
 	if err != nil {
+		initSpan.End()
 		return nil, err
 	}
 	splits, err := cfg.FS.Splits(cfg.Input)
+	initSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -72,23 +78,37 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		roundStart := time.Now()
 		res.Iterations = round
+		roundSpan := trace.StartSpan(fmt.Sprintf("round-%d", round), "phase")
+		phases := make(map[string]time.Duration, 3)
 
 		// --- KMeans: refine every live center (found + candidates). ---
+		kmSpan := trace.StartSpan("kmeans", "round-phase")
+		phaseStart := time.Now()
 		centers := liveCenters(found, active)
 		for it := 0; it < cfg.KMeansIterations-1; it++ {
 			itRes, err := kmeansIteration(cfg, centers, round, it)
 			if err != nil {
+				kmSpan.End()
+				roundSpan.End()
 				return nil, err
 			}
 			itRes.Job.Counters.MergeInto(res.Counters)
 			centers = itRes.Centers
 		}
+		phases["kmeans"] = time.Since(phaseStart)
+		kmSpan.End()
 
 		// --- Last k-means pass + candidate picking. ---
+		kfncSpan := trace.StartSpan("kfnc", "round-phase")
+		phaseStart = time.Now()
 		kfnc, err := lastPassWithCandidates(cfg, centers, round, res.Counters)
 		if err != nil {
+			kfncSpan.End()
+			roundSpan.End()
 			return nil, err
 		}
+		phases["kfnc"] = time.Since(phaseStart)
+		kfncSpan.End()
 		writeBack(found, active, kfnc)
 		found = kfnc.centers[:len(found)]
 
@@ -111,6 +131,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			for _, a := range testable {
 				found = append(found, a.parent)
 			}
+			roundSpan.SetArg("strategy", "capped").End()
 			res.PerIteration = append(res.PerIteration, IterationStats{
 				Iteration:    round,
 				Strategy:     "capped",
@@ -118,6 +139,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				FoundAfter:   len(found),
 				Centers:      vec.CloneAll(found),
 				Duration:     time.Since(roundStart),
+				Phases:       phases,
 			})
 			notifyProgress(cfg, res)
 			active = nil
@@ -148,11 +170,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		var outcomes []TestOutcome
 		if len(testable) > 0 {
+			testSpan := trace.StartSpan("test", "round-phase").SetArg("strategy", string(strategy))
+			phaseStart = time.Now()
 			var testRes *mr.Result
 			outcomes, testRes, err = runTest(cfg, strategy, parents, len(found), vectors, round)
 			if err != nil {
+				testSpan.End()
+				roundSpan.End()
 				return nil, err
 			}
+			phases["test"] = time.Since(phaseStart)
+			testSpan.End()
 			testRes.Counters.MergeInto(res.Counters)
 		}
 
@@ -207,6 +235,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		active = next
 
+		roundSpan.SetArg("strategy", string(strategy)).
+			SetArg("active", len(testable)).
+			SetArg("splits", splits).
+			SetArg("found", len(found)).
+			End()
 		res.PerIteration = append(res.PerIteration, IterationStats{
 			Iteration:      round,
 			Strategy:       strategy,
@@ -217,6 +250,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			MaxClusterSize: maxClusterSize,
 			EstimatedHeap:  estHeap,
 			Duration:       time.Since(roundStart),
+			Phases:         phases,
 		})
 		notifyProgress(cfg, res)
 	}
@@ -229,7 +263,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	res.KBeforeMerge = len(found)
 	if cfg.MergeRadius > 0 {
+		mergeStart := time.Now()
+		mergeSpan := trace.StartSpan("merge", "phase")
 		found = MergeCloseCenters(found, cfg.MergeRadius)
+		mergeSpan.SetArg("before", res.KBeforeMerge).SetArg("after", len(found)).End()
+		// The merge is a round of its own to observers: one Progress event
+		// with StrategyMerge, per-round Duration semantics, and the merged
+		// center set. It is not appended to PerIteration — PerIteration
+		// records normality-test rounds only.
+		if cfg.Progress != nil {
+			cfg.Progress(IterationStats{
+				Iteration:  res.Iterations + 1,
+				Strategy:   StrategyMerge,
+				FoundAfter: len(found),
+				Centers:    vec.CloneAll(found),
+				Duration:   time.Since(mergeStart),
+			}, res.Counters.Snapshot())
+		}
 	}
 	res.Centers = found
 	res.K = len(found)

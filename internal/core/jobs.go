@@ -198,6 +198,7 @@ func runKFNC(cfg Config, centers []vec.Vector, round int) (*kfncOutput, *mr.Resu
 		Cluster:         cfg.Cluster,
 		Input:           []string{cfg.Input},
 		Ctx:             cfg.Env.Ctx,
+		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
 		NewReducer:      func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} },
@@ -493,6 +494,7 @@ func runTest(cfg Config, strategy TestStrategy, parents []vec.Vector, foundCount
 		Cluster:         cfg.Cluster,
 		Input:           []string{cfg.Input},
 		Ctx:             cfg.Env.Ctx,
+		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
 		// "The number of reduce tasks is still equal to k": one partition

@@ -234,6 +234,7 @@ func runPCACandidates(cfg Config, centers []vec.Vector, round int) ([][]vec.Vect
 		Cluster:         cfg.Cluster,
 		Input:           []string{cfg.Input},
 		Ctx:             cfg.Env.Ctx,
+		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
 		NewPointMapper: func() mr.PointMapper {

@@ -77,7 +77,15 @@ type IterationStats struct {
 	MaxClusterSize int64
 	// EstimatedHeap is MaxClusterSize × HeapBytesPerPoint.
 	EstimatedHeap int64
-	Duration      time.Duration
+	// Duration is the wall time of this round alone — never a cumulative
+	// total across rounds (the same per-round semantics multi-k-means
+	// Progress reports).
+	Duration time.Duration
+	// Phases breaks Duration down by round phase: "kmeans" (the plain
+	// refinement passes), "kfnc" (the last pass with candidate picking,
+	// or the PCA candidate job), "test" (the normality-test job). Always
+	// populated, even without a trace recorder attached.
+	Phases map[string]time.Duration
 }
 
 // TestOutcome reports one cluster's Anderson–Darling verdict to callers

@@ -22,6 +22,7 @@ import (
 	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/kdtree"
 	"gmeansmr/internal/mr"
+	"gmeansmr/internal/obs"
 	"gmeansmr/internal/vec"
 )
 
@@ -67,6 +68,10 @@ type Env struct {
 	// environment — the drivers (G-means rounds, multi-k-means iterations)
 	// also check it between jobs. Nil means context.Background().
 	Ctx context.Context
+	// Trace, when non-nil, is handed to every job built from this
+	// environment (mr.Job.Trace), so one recorder collects the spans of a
+	// whole chained-job algorithm run. Nil disables span recording.
+	Trace *obs.Trace
 }
 
 // Context returns the environment's context, defaulting to Background.
@@ -357,6 +362,7 @@ func iterate(env Env, centers []vec.Vector, name string, mode iterateMode) (*Ite
 		Cluster:         env.Cluster,
 		Input:           []string{env.Input},
 		Ctx:             env.Ctx,
+		Trace:           env.Trace,
 		DisableColumnar: env.RowMajorOnly(),
 		NewReducer:      func() mr.Reducer { return MergeReducer{} },
 	}

@@ -46,8 +46,11 @@ type MultiConfig struct {
 	// Seeding selects the initializer (default: random, as in the paper).
 	Seeding MultiSeeding
 	Seed    int64
-	// Progress, when non-nil, is invoked after every chained job with the
-	// 1-based iteration number and the job's wall time.
+	// Progress, when non-nil, is invoked at the end of every iteration
+	// with the 1-based iteration number and that iteration's own wall
+	// time — the MR job plus the driver-side center updates, never a
+	// cumulative total. This matches the per-round durations G-means
+	// reports, so mixed-algorithm dashboards chart one semantic.
 	Progress func(iteration int, duration time.Duration)
 }
 
@@ -199,7 +202,9 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 	start := time.Now()
 	// Shared seeding: one reservoir sample; the center set for k is the
 	// first k picked centers. One dataset read, shared across all k.
+	initSpan := cfg.Env.Trace.StartSpan("init", "phase")
 	sample, err := initialCenters(cfg)
+	initSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +225,8 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		if err := cfg.Context().Err(); err != nil {
 			return nil, err
 		}
+		itStart := time.Now()
+		itSpan := cfg.Env.Trace.StartSpan(fmt.Sprintf("iter-%d", it+1), "phase")
 		nearest := buildNearestByK(cfg.Env, centerSets, ks)
 		job := &mr.Job{
 			Name:            fmt.Sprintf("multi-k-means-iter-%d", it),
@@ -227,6 +234,7 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			Cluster:         cfg.Cluster,
 			Input:           []string{cfg.Input},
 			Ctx:             cfg.Ctx,
+			Trace:           cfg.Env.Trace,
 			PointDim:        cfg.Dim,
 			DisableColumnar: cfg.Env.RowMajorOnly(),
 			NewPointMapper: func() mr.PointMapper {
@@ -237,13 +245,11 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		}
 		jr, err := job.Run()
 		if err != nil {
+			itSpan.End()
 			return nil, err
 		}
 		res.IterationTimes = append(res.IterationTimes, jr.Duration)
 		jr.Counters.MergeInto(res.Counters)
-		if cfg.Progress != nil {
-			cfg.Progress(it+1, jr.Duration)
-		}
 
 		next := make(map[int][]vec.Vector, len(ks))
 		for _, k := range ks {
@@ -266,6 +272,14 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 		}
 		for _, k := range ks {
 			centerSets[k] = next[k]
+		}
+		itSpan.End()
+		// Progress reports the iteration's own wall time — job plus the
+		// center updates above — so every callback (and the facade's
+		// Progress.Duration) carries per-round semantics, not cumulative
+		// and not job-only.
+		if cfg.Progress != nil {
+			cfg.Progress(it+1, time.Since(itStart))
 		}
 	}
 	res.CentersByK = centerSets
@@ -401,12 +415,15 @@ func Evaluate(cfg MultiConfig, res *MultiResult) error {
 		ks = append(ks, k)
 	}
 	sort.Ints(ks)
+	evalSpan := cfg.Env.Trace.StartSpan("evaluate", "phase")
+	defer evalSpan.End()
 	job := &mr.Job{
 		Name:            "multi-k-means-evaluate",
 		FS:              cfg.FS,
 		Cluster:         cfg.Cluster,
 		Input:           []string{cfg.Input},
 		Ctx:             cfg.Ctx,
+		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
 		NewPointMapper: func() mr.PointMapper {

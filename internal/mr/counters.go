@@ -169,17 +169,35 @@ func (c *Counters) MergeInto(dst *Counters) {
 	}
 }
 
+// CounterValue is one (name, value) pair of a sorted counter snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Sorted returns every counter added to, sorted by name. This is the one
+// place counter ordering is decided: Names and every reporting call site
+// derive from it rather than re-sorting their own view.
+func (c *Counters) Sorted() []CounterValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CounterValue, 0, len(c.vals))
+	for id, v := range c.vals {
+		if c.touched[id] {
+			out = append(out, CounterValue{Name: CounterName(CounterID(id)), Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Names returns the sorted names of every counter added to, for stable
 // reporting.
 func (c *Counters) Names() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, len(c.vals))
-	for id := range c.vals {
-		if c.touched[id] {
-			out = append(out, CounterName(CounterID(id)))
-		}
+	sorted := c.Sorted()
+	out := make([]string, len(sorted))
+	for i, cv := range sorted {
+		out[i] = cv.Name
 	}
-	sort.Strings(out)
 	return out
 }

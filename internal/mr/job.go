@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/obs"
 )
 
 // byKey orders KV pairs by key for the engine's sort sites. Stable sorts
@@ -62,6 +63,14 @@ type Job struct {
 	// cancelled job aborts after the tasks already in flight drain — no
 	// goroutines outlive Run. Nil means context.Background().
 	Ctx context.Context
+
+	// Trace, when non-nil, records per-phase and per-task spans for the
+	// job: "map"/"reduce" engine phases, and "map-task", "spill",
+	// "shuffle-merge", "reduce-task" spans keyed by task id. Spans are
+	// batch-level only — one per task or phase, never per record — so a
+	// nil Trace costs one pointer test and an enabled one stays off the
+	// record hot path.
+	Trace *obs.Trace
 }
 
 // Result is the outcome of a successful job.
@@ -152,14 +161,31 @@ func (j *Job) Run() (*Result, error) {
 		shuffle[p] = make([][]KV, len(splits))
 	}
 
-	if err := j.runMapPhase(ctx, splits, numReducers, partition, counters, shuffle); err != nil {
-		return nil, err
-	}
+	jobSpan := j.Trace.StartSpan("job:"+j.Name, "job").
+		SetArg("map_tasks", len(splits)).
+		SetArg("reduce_tasks", numReducers)
 
-	output, err := j.runReducePhase(ctx, numReducers, counters, shuffle)
+	mapSpan := j.Trace.StartSpan("map", "mr")
+	err := j.runMapPhase(ctx, splits, numReducers, partition, counters, shuffle)
+	mapSpan.End()
 	if err != nil {
 		return nil, err
 	}
+
+	reduceSpan := j.Trace.StartSpan("reduce", "mr")
+	output, err := j.runReducePhase(ctx, numReducers, counters, shuffle)
+	reduceSpan.End()
+	if err != nil {
+		return nil, err
+	}
+
+	// Attach the merged job counters to the job span so a trace is
+	// self-describing: phase wall time next to the work volumes that
+	// explain it.
+	for _, cv := range counters.Sorted() {
+		jobSpan.SetArg(cv.Name, cv.Value)
+	}
+	jobSpan.End()
 
 	return &Result{
 		Output:      output,
@@ -264,8 +290,10 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 		heapBudget: j.Cluster.TaskHeapBytes,
 	}
 	em := &emitter{}
+	taskSpan := j.Trace.StartSpan("map-task", "task").SetTID(int64(taskID))
 	records, err := j.mapSplit(ctx, sp, em)
 	if err != nil {
+		taskSpan.End()
 		return nil, wrapTaskErr(j.Name, MapTask, taskID, err)
 	}
 
@@ -273,21 +301,28 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 	for _, kv := range em.buf {
 		outBytes += int64(kv.Value.ByteSize()) + 8
 	}
+	taskSpan.SetArg("records", records).
+		SetArg("out_records", int64(len(em.buf))).
+		SetArg("out_bytes", outBytes).
+		End()
 	ctx.Count(idMapInputRecords, records)
 	ctx.Count(idMapOutputRecords, int64(len(em.buf)))
 	ctx.Count(idMapOutputBytes, outBytes)
 
 	// Partition, sort, and (optionally) combine, as Hadoop does on spill.
+	spillSpan := j.Trace.StartSpan("spill", "task").SetTID(int64(taskID))
 	parts := make([][]KV, numReducers)
 	for _, kv := range em.buf {
 		p := partition(kv.Key, numReducers)
 		parts[p] = append(parts[p], kv)
 	}
+	var spillRecords, spillBytes int64
 	for p := range parts {
 		slices.SortStableFunc(parts[p], byKey)
 		if j.NewCombiner != nil && len(parts[p]) > 0 {
 			combined, err := j.combineRun(ctx, taskID, parts[p], counters)
 			if err != nil {
+				spillSpan.End()
 				return nil, err
 			}
 			parts[p] = combined
@@ -297,9 +332,12 @@ func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Pa
 			shuffled++
 			shuffledBytes += int64(kv.Value.ByteSize()) + 8
 		}
+		spillRecords += shuffled
+		spillBytes += shuffledBytes
 		ctx.Count(idShuffleRecords, shuffled)
 		ctx.Count(idShuffleBytes, shuffledBytes)
 	}
+	spillSpan.SetArg("records", spillRecords).SetArg("bytes", spillBytes).End()
 	ctx.flushCounters()
 	return parts, nil
 }
@@ -477,10 +515,14 @@ func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error
 	// concatenation. Key ties break by map-task id, so the output order is
 	// byte-for-byte what concatenate + stable sort produced (pinned by
 	// TestMergeRunsMatchesConcatSort).
+	mergeSpan := j.Trace.StartSpan("shuffle-merge", "task").SetTID(int64(p))
 	merged := MergeRuns(runs)
+	mergeSpan.SetArg("records", int64(len(merged))).End()
 
+	taskSpan := j.Trace.StartSpan("reduce-task", "task").SetTID(int64(p))
 	reducer := j.NewReducer()
 	if err := reducer.Setup(ctx); err != nil {
+		taskSpan.End()
 		return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
 	}
 	out := &emitter{}
@@ -499,13 +541,19 @@ func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error
 		groups++
 		records += int64(len(values))
 		if err := reducer.Reduce(ctx, k, values, out); err != nil {
+			taskSpan.End()
 			return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
 		}
 		i = jdx
 	}
 	if err := reducer.Close(ctx, out); err != nil {
+		taskSpan.End()
 		return nil, wrapTaskErr(j.Name, ReduceTask, p, err)
 	}
+	taskSpan.SetArg("groups", groups).
+		SetArg("records", records).
+		SetArg("out_records", int64(len(out.buf))).
+		End()
 	ctx.Count(idReduceInputGroups, groups)
 	ctx.Count(idReduceInputRecords, records)
 	ctx.Count(idReduceOutput, int64(len(out.buf)))

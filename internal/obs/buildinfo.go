@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// Build identification, injected at link time:
+//
+//	go build -ldflags "-X gmeansmr/internal/obs.Version=v1.2.3 \
+//	                   -X gmeansmr/internal/obs.Commit=$(git rev-parse --short HEAD)"
+//
+// The defaults identify an un-stamped development build.
+var (
+	// Version is the release version of this binary.
+	Version = "dev"
+	// Commit is the VCS revision this binary was built from.
+	Commit = "unknown"
+)
+
+// BuildInfo returns the build identification served by /healthz.
+func BuildInfo() map[string]string {
+	return map[string]string{
+		"version": Version,
+		"commit":  Commit,
+		"go":      runtime.Version(),
+	}
+}

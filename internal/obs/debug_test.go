@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total").Add(7)
+	mux := DebugMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "demo_total 7\n") {
+		t.Errorf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", rec.Code)
+	}
+
+	// A nil registry serves an empty exposition rather than panicking.
+	rec = httptest.NewRecorder()
+	DebugMux(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil-registry /metrics: status %d, body %q", rec.Code, rec.Body.String())
+	}
+}

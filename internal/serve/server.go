@@ -24,7 +24,8 @@
 //	POST /v1/assign/batch  {"points":[[...],...]}     → per-point cluster id + distance
 //	GET  /v1/model                                    → model metadata
 //	POST /v1/model/reload                             → hot-swap from the configured loader
-//	GET  /healthz                                     → liveness + model summary
+//	GET  /healthz                                     → liveness + model summary + uptime + build info
+//	GET  /metrics                                     → Prometheus text format
 package serve
 
 import (
@@ -35,9 +36,11 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gmeansmr/internal/kdtree"
 	"gmeansmr/internal/model"
+	"gmeansmr/internal/obs"
 	"gmeansmr/internal/vec"
 )
 
@@ -133,6 +136,16 @@ type Server struct {
 	bruteK   int
 	maxBatch int
 	mux      *http.ServeMux
+
+	// Observability: the registry backs GET /metrics; the handles below
+	// are looked up once here so the query path ticks them lock-free.
+	reg        *obs.Registry
+	started    time.Time
+	assignHist *obs.Histogram
+	batchHist  *obs.Histogram
+	inflight   *obs.Gauge
+	requests   *obs.Counter
+	swaps      *obs.Counter
 }
 
 // New builds a Server over m. The model is retained and must not be
@@ -142,7 +155,14 @@ func New(m *model.Model, opts Options) (*Server, error) {
 		loader:   opts.Loader,
 		bruteK:   opts.BruteForceMaxK,
 		maxBatch: opts.MaxBatch,
+		reg:      obs.NewRegistry(),
+		started:  time.Now(),
 	}
+	s.assignHist = s.reg.Histogram("serve_assign_seconds", nil)
+	s.batchHist = s.reg.Histogram("serve_assign_batch_seconds", nil)
+	s.inflight = s.reg.Gauge("serve_inflight_requests")
+	s.requests = s.reg.Counter("serve_requests_total")
+	s.swaps = s.reg.Counter("serve_model_swaps_total")
 	if s.bruteK <= 0 {
 		s.bruteK = DefaultBruteForceMaxK
 	}
@@ -158,6 +178,7 @@ func New(m *model.Model, opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/model/reload", s.handleReload)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
 }
@@ -178,6 +199,7 @@ func (s *Server) Swap(m *model.Model) error {
 	a.gen = s.gen
 	s.active.Store(a)
 	s.swapMu.Unlock()
+	s.swaps.Inc()
 	return nil
 }
 
@@ -223,7 +245,20 @@ func (s *Server) AssignBatch(points []vec.Vector) ([]Assignment, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the server's metrics registry, so embedders (cmd/serve's
+// -debug-addr) can expose the same metrics on a separate listener or add
+// their own.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 // --- handlers ---------------------------------------------------------------
@@ -239,6 +274,8 @@ type assignResponse struct {
 }
 
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.assignHist.Observe(time.Since(start).Seconds()) }()
 	var req assignRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -277,6 +314,8 @@ type batchResponse struct {
 }
 
 func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.batchHist.Observe(time.Since(start).Seconds()) }()
 	var req batchRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -335,6 +374,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	a := s.active.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok", "k": a.m.K, "dim": a.m.Dim, "generation": a.gen,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"model": map[string]any{
+			"algorithm":       a.m.Meta.Algorithm,
+			"iterations":      a.m.Meta.Iterations,
+			"trained_at_unix": a.m.Meta.TrainedAtUnix,
+		},
+		"build": obs.BuildInfo(),
 	})
 }
 
