@@ -14,6 +14,7 @@ import (
 	"gmeansmr/internal/kmeansmr"
 	"gmeansmr/internal/lloyd"
 	"gmeansmr/internal/mr"
+	"gmeansmr/internal/mrdist"
 	"gmeansmr/internal/obs"
 	"gmeansmr/internal/seqgmeans"
 	"gmeansmr/internal/vec"
@@ -39,6 +40,23 @@ const (
 	// AlgorithmMultiK is the paper's baseline: multi-k-means over a range
 	// of candidate k (cost ∝ n·k²) followed by a selection criterion.
 	AlgorithmMultiK Algorithm = "multik"
+)
+
+// Backend selects the MapReduce execution backend of the MR algorithms.
+type Backend string
+
+// Selectable backends.
+const (
+	// BackendLocal executes tasks on in-process goroutine pools — the
+	// engine's reference implementation. The default.
+	BackendLocal Backend = "local"
+	// BackendProc executes tasks on worker subprocesses, one per simulated
+	// cluster node, scheduled over HTTP by internal/mrdist with straggler
+	// speculation and retry around worker failure. Centers, sizes and job
+	// counters are pinned bit-identical to BackendLocal. The workers are
+	// spawned by re-executing the current binary, so main must call
+	// mrdist.MaybeWorker first thing (the shipped CLIs do).
+	BackendProc Backend = "proc"
 )
 
 // Criterion selects how AlgorithmMultiK picks k from the per-candidate
@@ -111,6 +129,7 @@ const (
 // config is the resolved option set of a Clusterer.
 type config struct {
 	algorithm   Algorithm
+	backend     Backend
 	nodes       int
 	alpha       float64
 	maxK        int
@@ -145,6 +164,21 @@ func WithAlgorithm(a Algorithm) Option {
 			c.algorithm = a
 		default:
 			c.setErr(fmt.Errorf("gmeansmr: unknown algorithm %q", a))
+		}
+	}
+}
+
+// WithBackend selects the MapReduce execution backend (default
+// BackendLocal). Ignored by the in-memory algorithms.
+func WithBackend(b Backend) Option {
+	return func(c *config) {
+		switch b {
+		case "", BackendLocal:
+			c.backend = BackendLocal
+		case BackendProc:
+			c.backend = BackendProc
+		default:
+			c.setErr(fmt.Errorf("gmeansmr: unknown backend %q", b))
 		}
 	}
 }
@@ -454,6 +488,9 @@ func (c *Clusterer) writeTrace(tr *obs.Trace) error {
 type staged struct {
 	env kmeansmr.Env
 	n   int
+	// cleanup tears down the run's execution backend (the proc backend's
+	// worker fleet); callers defer it. Never nil.
+	cleanup func()
 }
 
 const stagedPath = "/data/points.txt"
@@ -519,7 +556,16 @@ func (c *Clusterer) stage(ctx context.Context, src DataSource, tr *obs.Trace) (*
 		Dim: dim, UseKDTree: c.cfg.useKDTree, Ctx: ctx,
 		Trace: tr,
 	}
-	return &staged{env: env, n: n}, nil
+	st := &staged{env: env, n: n, cleanup: func() {}}
+	if c.cfg.backend == BackendProc {
+		// One worker fleet per run, shared by every chained job; the
+		// observer registry (when set) receives the runner's scheduling
+		// metrics next to the facade's own.
+		runner := mrdist.NewProcRunner(mrdist.Options{Registry: c.cfg.observer})
+		st.env.Runner = runner
+		st.cleanup = runner.Close
+	}
+	return st, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -531,6 +577,7 @@ func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource, tr *obs.Tra
 	if err != nil {
 		return nil, err
 	}
+	defer st.cleanup()
 	cfg := core.Config{
 		Env:           st.env,
 		Alpha:         c.cfg.alpha,
@@ -607,6 +654,7 @@ func (c *Clusterer) runMultiK(ctx context.Context, src DataSource, tr *obs.Trace
 	if err != nil {
 		return nil, err
 	}
+	defer st.cleanup()
 	mcfg := kmeansmr.MultiConfig{
 		Env:        st.env,
 		KMin:       c.cfg.kMin,

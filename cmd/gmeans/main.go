@@ -11,6 +11,14 @@
 //	gmeans -algo seq-gmeans d100.txt
 //	gmeans -timeout 30s d100.txt   # bound the run; cancels between MR waves
 //
+// Execution backend: -backend=local (default) runs MapReduce tasks on
+// in-process goroutine pools; -backend=proc spawns one worker process per
+// simulated node and schedules tasks over HTTP (internal/mrdist), with
+// straggler speculation and retry around worker failure. Results are
+// bit-identical across backends:
+//
+//	gmeans -backend proc -nodes 4 d100.txt
+//
 // Observability: -trace writes a Chrome-trace file of the run's phase and
 // task spans (open it at chrome://tracing or https://ui.perfetto.dev), and
 // -debug-addr serves live /metrics and /debug/pprof while the run is hot:
@@ -30,15 +38,20 @@ import (
 
 	gmeansmr "gmeansmr"
 	"gmeansmr/internal/dataset"
+	"gmeansmr/internal/mrdist"
 	"gmeansmr/internal/obs"
 )
 
 func main() {
+	// When the proc backend spawned this process as a worker, serve tasks
+	// instead of parsing flags; never returns in that case.
+	mrdist.MaybeWorker()
 	log.SetFlags(0)
 	log.SetPrefix("gmeans: ")
 
 	var (
 		algo     = flag.String("algo", "gmeans-mr", "algorithm: gmeans-mr, seq-gmeans, xmeans, multik")
+		backend  = flag.String("backend", "local", "MR execution backend: local (in-process) or proc (worker subprocesses)")
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes (MR algorithms)")
 		alpha    = flag.Float64("alpha", 0.0001, "Anderson-Darling significance level")
 		maxK     = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
@@ -63,6 +76,7 @@ func main() {
 
 	opts := []gmeansmr.Option{
 		gmeansmr.WithAlgorithm(gmeansmr.Algorithm(*algo)),
+		gmeansmr.WithBackend(gmeansmr.Backend(*backend)),
 		gmeansmr.WithNodes(*nodes),
 		gmeansmr.WithSeed(*seed),
 		gmeansmr.WithSplitSize(*split),

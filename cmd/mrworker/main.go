@@ -1,0 +1,26 @@
+// Command mrworker is a standalone mrdist worker: it serves map/reduce
+// task execution, input replicas and shuffle pulls for a master process
+// (see internal/mrdist and docs/wire.md). The CLIs normally self-exec as
+// their own workers, so every registered job kind resolves on both sides;
+// this binary exists for running workers from a dedicated build.
+//
+// The blank imports matter: they link the packages whose init functions
+// register the job kinds and value codecs the shipped JobSpecs name.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gmeansmr/internal/mrdist"
+
+	_ "gmeansmr/internal/core"
+	_ "gmeansmr/internal/kmeansmr"
+)
+
+func main() {
+	if err := mrdist.RunWorker(); err != nil {
+		fmt.Fprintln(os.Stderr, "mrworker:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,13 @@
 //	datagen -k 10 -dim 2 -n 10000 -sep 15 -o data.txt
 //	multikmeans -kmax 20 -criterion elbow data.txt
 //	multikmeans -kmax 20 -timeout 1m data.txt   # bound the pipeline
+//
+// Execution backend: -backend=local (default) runs MapReduce tasks on
+// in-process goroutine pools; -backend=proc spawns one worker process per
+// simulated node and schedules tasks over HTTP (internal/mrdist). Results
+// are bit-identical across backends:
+//
+//	multikmeans -backend proc -kmax 20 data.txt
 package main
 
 import (
@@ -20,13 +27,18 @@ import (
 	"time"
 
 	gmeansmr "gmeansmr"
+	"gmeansmr/internal/mrdist"
 )
 
 func main() {
+	// When the proc backend spawned this process as a worker, serve tasks
+	// instead of parsing flags; never returns in that case.
+	mrdist.MaybeWorker()
 	log.SetFlags(0)
 	log.SetPrefix("multikmeans: ")
 
 	var (
+		backend   = flag.String("backend", "local", "MR execution backend: local (in-process) or proc (worker subprocesses)")
 		kmin      = flag.Int("kmin", 1, "smallest candidate k")
 		kmax      = flag.Int("kmax", 16, "largest candidate k")
 		kstep     = flag.Int("kstep", 1, "candidate step")
@@ -47,6 +59,7 @@ func main() {
 	var iterTimes []time.Duration
 	c, err := gmeansmr.New(
 		gmeansmr.WithAlgorithm(gmeansmr.AlgorithmMultiK),
+		gmeansmr.WithBackend(gmeansmr.Backend(*backend)),
 		gmeansmr.WithKRange(*kmin, *kmax, *kstep),
 		gmeansmr.WithMultiKIterations(*iters),
 		gmeansmr.WithCriterion(gmeansmr.Criterion(*criterion)),

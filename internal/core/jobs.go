@@ -201,6 +201,8 @@ func runKFNC(cfg Config, centers []vec.Vector, round int) (*kfncOutput, *mr.Resu
 		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
+		Runner:          cfg.Env.Runner,
+		Spec:            kfncSpec(cfg, centers, round),
 		NewReducer:      func() mr.Reducer { return &kfncReducer{seed: cfg.Seed + int64(round)} },
 	}
 	if cfg.DisableCombiners {
@@ -497,6 +499,8 @@ func runTest(cfg Config, strategy TestStrategy, parents []vec.Vector, foundCount
 		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
+		Runner:          cfg.Env.Runner,
+		Spec:            testSpec(cfg, strategy, parents, foundCount, vectors),
 		// "The number of reduce tasks is still equal to k": one partition
 		// per cluster under test.
 		NumReducers: numActive,

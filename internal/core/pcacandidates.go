@@ -237,6 +237,8 @@ func runPCACandidates(cfg Config, centers []vec.Vector, round int) ([][]vec.Vect
 		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
+		Runner:          cfg.Env.Runner,
+		Spec:            pcaSpec(cfg, centers, round),
 		NewPointMapper: func() mr.PointMapper {
 			return &pcaMapper{env: cfg.Env, centers: centers, nearest: nearest}
 		},

@@ -77,6 +77,11 @@ type FS struct {
 	// pointcache.go). Guarded by mu; invalidated on Create, Delete and
 	// SetSplitSize.
 	points map[string]*filePoints
+	// versions counts generations per path: every Create and Delete bumps
+	// the path's entry, and entries survive deletion (a re-created path must
+	// not repeat an old version). Replication layers cache file replicas per
+	// (path, version). Guarded by mu; lazily allocated.
+	versions map[string]int64
 
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
@@ -144,7 +149,43 @@ func (fs *FS) Create(path string, data []byte) {
 	copy(cp, data)
 	fs.files[path] = &file{data: cp}
 	fs.invalidatePoints(path)
+	fs.bumpVersion(path)
 	fs.bytesWritten.Add(int64(len(data)))
+}
+
+// bumpVersion advances path's generation counter; callers hold fs.mu.
+func (fs *FS) bumpVersion(path string) {
+	if fs.versions == nil {
+		fs.versions = make(map[string]int64)
+	}
+	fs.versions[path]++
+}
+
+// Version reports the generation counter of path: zero for a path never
+// created, and a strictly increasing value across every Create and Delete
+// of the path since this FS was constructed (deletion does not reset it).
+// Replication layers use it to decide whether a cached replica of the file
+// is current.
+func (fs *FS) Version(path string) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.versions[path]
+}
+
+// Contents returns a copy of the file's raw bytes without touching any read
+// accounting. It exists for the replication plane of distributed backends —
+// shipping a file to a worker is a transport cost, not one of the paper's
+// dataset scans; ReadAll is the accessor that accounts a scan.
+func (fs *FS) Contents(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	cp := make([]byte, len(f.data))
+	copy(cp, f.data)
+	return cp, nil
 }
 
 // Writer returns a buffered writer that materializes into path on Close.
@@ -176,7 +217,10 @@ func (w *FileWriter) Close() error {
 func (fs *FS) Delete(path string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	delete(fs.files, path)
+	if _, ok := fs.files[path]; ok {
+		delete(fs.files, path)
+		fs.bumpVersion(path)
+	}
 	fs.invalidatePoints(path)
 }
 

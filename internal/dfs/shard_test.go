@@ -1,0 +1,100 @@
+package dfs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionAndContents(t *testing.T) {
+	fs := New(16)
+	if v := fs.Version("/a"); v != 0 {
+		t.Fatalf("fresh path version = %d, want 0", v)
+	}
+	fs.Create("/a", []byte("hello\n"))
+	if v := fs.Version("/a"); v != 1 {
+		t.Fatalf("after create version = %d, want 1", v)
+	}
+	fs.Create("/a", []byte("world\n"))
+	if v := fs.Version("/a"); v != 2 {
+		t.Fatalf("after overwrite version = %d, want 2", v)
+	}
+	fs.Delete("/a")
+	if v := fs.Version("/a"); v != 3 {
+		t.Fatalf("after delete version = %d, want 3", v)
+	}
+	// Deleting a missing path stays a no-op, version included.
+	fs.Delete("/a")
+	if v := fs.Version("/a"); v != 3 {
+		t.Fatalf("after no-op delete version = %d, want 3", v)
+	}
+	// Re-creation keeps the counter strictly increasing.
+	fs.Create("/a", []byte("again\n"))
+	if v := fs.Version("/a"); v != 4 {
+		t.Fatalf("after re-create version = %d, want 4", v)
+	}
+
+	reads := fs.DatasetReads()
+	bytesRead := fs.BytesRead()
+	got, err := fs.Contents("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "again\n" {
+		t.Fatalf("Contents = %q", got)
+	}
+	// Contents is the replication-plane accessor: no scan accounting.
+	if fs.DatasetReads() != reads || fs.BytesRead() != bytesRead {
+		t.Fatal("Contents must not tick read accounting")
+	}
+	// The copy is private: mutating it must not corrupt the file.
+	got[0] = 'X'
+	back, _ := fs.Contents("/a")
+	if string(back) != "again\n" {
+		t.Fatal("Contents must return a copy")
+	}
+	if _, err := fs.Contents("/missing"); err == nil {
+		t.Fatal("Contents of a missing path must fail")
+	}
+}
+
+func TestShardOwnership(t *testing.T) {
+	fs := New(8) // tiny splits: many per file
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		b.WriteString("0 1\n")
+	}
+	fs.Create("/pts", []byte(b.String()))
+	all, err := fs.Splits("/pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Fatalf("want several splits, got %d", len(all))
+	}
+	const nodes = 3
+	seen := 0
+	for node := 0; node < nodes; node++ {
+		owned, err := fs.OwnedSplits("/pts", node, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := -1
+		for _, sp := range owned {
+			if ShardOwner(sp, nodes) != node {
+				t.Fatalf("split %d owned by %d, listed under node %d", sp.Index, ShardOwner(sp, nodes), node)
+			}
+			if sp.Index <= last {
+				t.Fatal("OwnedSplits must preserve file order")
+			}
+			last = sp.Index
+			seen++
+		}
+	}
+	// Every split has exactly one owner.
+	if seen != len(all) {
+		t.Fatalf("shards cover %d of %d splits", seen, len(all))
+	}
+	if ShardOwner(all[0], 0) != 0 {
+		t.Fatal("degenerate node count should map to node 0")
+	}
+}

@@ -72,6 +72,11 @@ type Env struct {
 	// environment (mr.Job.Trace), so one recorder collects the spans of a
 	// whole chained-job algorithm run. Nil disables span recording.
 	Trace *obs.Trace
+	// Runner, when non-nil, selects the execution backend of every job
+	// built from this environment (mr.Job.Runner) — e.g. an
+	// mrdist.ProcRunner scheduling onto worker subprocesses. Nil selects
+	// the in-process mr.LocalRunner.
+	Runner mr.TaskRunner
 }
 
 // Context returns the environment's context, defaulting to Background.
@@ -364,6 +369,8 @@ func iterate(env Env, centers []vec.Vector, name string, mode iterateMode) (*Ite
 		Ctx:             env.Ctx,
 		Trace:           env.Trace,
 		DisableColumnar: env.RowMajorOnly(),
+		Runner:          env.Runner,
+		Spec:            assignSpec(env, centers, mode),
 		NewReducer:      func() mr.Reducer { return MergeReducer{} },
 	}
 	switch mode {

@@ -237,6 +237,8 @@ func RunMulti(cfg MultiConfig) (*MultiResult, error) {
 			Trace:           cfg.Env.Trace,
 			PointDim:        cfg.Dim,
 			DisableColumnar: cfg.Env.RowMajorOnly(),
+			Runner:          cfg.Env.Runner,
+			Spec:            multikSpec(cfg.Env, centerSets, ks),
 			NewPointMapper: func() mr.PointMapper {
 				return &multiMapper{env: cfg.Env, centerSets: centerSets, ks: ks, nearest: nearest}
 			},
@@ -426,6 +428,8 @@ func Evaluate(cfg MultiConfig, res *MultiResult) error {
 		Trace:           cfg.Env.Trace,
 		PointDim:        cfg.Dim,
 		DisableColumnar: cfg.Env.RowMajorOnly(),
+		Runner:          cfg.Env.Runner,
+		Spec:            evalSpec(cfg.Env, res.CentersByK, ks),
 		NewPointMapper: func() mr.PointMapper {
 			return &evalMapper{env: cfg.Env, centerSets: res.CentersByK, ks: ks}
 		},

@@ -1,0 +1,204 @@
+package kmeansmr
+
+import (
+	"fmt"
+
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/mrdist"
+	"gmeansmr/internal/vec"
+)
+
+// This file makes the package's jobs portable across process boundaries:
+// every job constructor attaches an mr.JobSpec naming a kind registered
+// here, and the builders below reconstruct the identical mapper/combiner/
+// reducer factories from the spec payload inside a worker process
+// (internal/mrdist ships the spec; cmd/mrworker links this package so the
+// registrations exist on both sides). Payloads use the GMWR encoding of
+// docs/wire.md.
+
+// Job kind names registered by this package.
+const (
+	KindAssign = "kmeans.assign"
+	KindMultiK = "kmeans.multik"
+	KindEval   = "kmeans.eval"
+)
+
+// TagEvalValue is the wire tag of the multi-k evaluation job's partial
+// quality sums.
+const TagEvalValue = mrdist.TagAppBase // 16
+
+func init() {
+	mrdist.RegisterValueCodec(TagEvalValue, mrdist.ValueCodec{
+		Encode: func(e *mrdist.Encoder, v mr.Value) bool {
+			ev, ok := v.(evalValue)
+			if !ok {
+				return false
+			}
+			e.F64(ev.SumD2).F64(ev.SumD).I64(ev.Count)
+			return true
+		},
+		Decode: func(d *mrdist.Decoder) mr.Value {
+			return evalValue{SumD2: d.F64(), SumD: d.F64(), Count: d.I64()}
+		},
+	})
+	mrdist.RegisterKind(KindAssign, buildAssign)
+	mrdist.RegisterKind(KindMultiK, buildMultiK)
+	mrdist.RegisterKind(KindEval, buildEval)
+}
+
+// EncodeEnvSpec appends the worker-relevant environment fields: the
+// dimensionality and the flags that pick the mapper's nearest-center
+// structure. FS/Cluster/Ctx/Trace/Runner never cross the wire — the worker
+// supplies its own.
+func EncodeEnvSpec(e *mrdist.Encoder, env Env) {
+	e.U32(uint32(env.Dim)).Bool(env.UseKDTree).Bool(env.DisableColumnar)
+}
+
+// DecodeEnvSpec reads the environment block written by EncodeEnvSpec.
+func DecodeEnvSpec(d *mrdist.Decoder) Env {
+	return Env{
+		Dim:             int(d.U32()),
+		UseKDTree:       d.Bool(),
+		DisableColumnar: d.Bool(),
+	}
+}
+
+// EncodeCenters appends a u32-counted center list.
+func EncodeCenters(e *mrdist.Encoder, centers []vec.Vector) {
+	e.U32(uint32(len(centers)))
+	for _, c := range centers {
+		e.Vec(c)
+	}
+}
+
+// DecodeCenters reads a center list written by EncodeCenters.
+func DecodeCenters(d *mrdist.Decoder) []vec.Vector {
+	n := int(d.U32())
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	centers := make([]vec.Vector, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		centers = append(centers, d.Vec())
+	}
+	return centers
+}
+
+// assignSpec encodes one classical k-means iteration.
+func assignSpec(env Env, centers []vec.Vector, mode iterateMode) *mr.JobSpec {
+	e := new(mrdist.Encoder).Begin()
+	e.U8(byte(mode))
+	EncodeEnvSpec(e, env)
+	EncodeCenters(e, centers)
+	return &mr.JobSpec{Kind: KindAssign, Payload: e.Bytes()}
+}
+
+func buildAssign(payload []byte) (mrdist.JobParts, error) {
+	d := mrdist.NewDecoder(payload)
+	mode := iterateMode(d.U8())
+	env := DecodeEnvSpec(d)
+	centers := DecodeCenters(d)
+	if err := d.Err(); err != nil {
+		return mrdist.JobParts{}, fmt.Errorf("kmeansmr: bad %s payload: %w", KindAssign, err)
+	}
+	// One nearest-center structure per task request, shared by the task's
+	// mapper — the same sharing the driver-side job performs per job.
+	nearest := env.NearestFunc(centers)
+	parts := mrdist.JobParts{NewReducer: func() mr.Reducer { return MergeReducer{} }}
+	switch mode {
+	case modePoints:
+		parts.NewPointMapper = func() mr.PointMapper {
+			return &assignMapper{env: env, centers: centers, nearest: nearest}
+		}
+		parts.NewCombiner = func() mr.Reducer { return MergeReducer{} }
+	case modeLegacyText:
+		parts.NewMapper = func() mr.Mapper {
+			return &legacyAssignMapper{env: env, centers: centers, nearest: nearest}
+		}
+		parts.NewCombiner = func() mr.Reducer { return MergeReducer{} }
+	case modeNoCombiner:
+		parts.NewMapper = func() mr.Mapper {
+			return &legacyAssignMapper{env: env, centers: centers, nearest: nearest}
+		}
+	default:
+		return mrdist.JobParts{}, fmt.Errorf("kmeansmr: unknown assign mode %d", mode)
+	}
+	return parts, nil
+}
+
+// encodeCenterSets appends the per-k center sets in ks order — the order
+// the mapper iterates, which fixes its accumulation and emit order.
+func encodeCenterSets(e *mrdist.Encoder, centerSets map[int][]vec.Vector, ks []int) {
+	e.U32(uint32(len(ks)))
+	for _, k := range ks {
+		e.U32(uint32(k))
+		EncodeCenters(e, centerSets[k])
+	}
+}
+
+func decodeCenterSets(d *mrdist.Decoder) (map[int][]vec.Vector, []int) {
+	n := int(d.U32())
+	if d.Err() != nil {
+		return nil, nil
+	}
+	sets := make(map[int][]vec.Vector, n)
+	ks := make([]int, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		k := int(d.U32())
+		sets[k] = DecodeCenters(d)
+		if d.Err() != nil {
+			return nil, nil
+		}
+		ks = append(ks, k)
+	}
+	return sets, ks
+}
+
+// multikSpec encodes one multi-k-means iteration.
+func multikSpec(env Env, centerSets map[int][]vec.Vector, ks []int) *mr.JobSpec {
+	e := new(mrdist.Encoder).Begin()
+	EncodeEnvSpec(e, env)
+	encodeCenterSets(e, centerSets, ks)
+	return &mr.JobSpec{Kind: KindMultiK, Payload: e.Bytes()}
+}
+
+func buildMultiK(payload []byte) (mrdist.JobParts, error) {
+	d := mrdist.NewDecoder(payload)
+	env := DecodeEnvSpec(d)
+	sets, ks := decodeCenterSets(d)
+	if err := d.Err(); err != nil {
+		return mrdist.JobParts{}, fmt.Errorf("kmeansmr: bad %s payload: %w", KindMultiK, err)
+	}
+	nearest := buildNearestByK(env, sets, ks)
+	return mrdist.JobParts{
+		NewPointMapper: func() mr.PointMapper {
+			return &multiMapper{env: env, centerSets: sets, ks: ks, nearest: nearest}
+		},
+		NewCombiner: func() mr.Reducer { return MergeReducer{} },
+		NewReducer:  func() mr.Reducer { return MergeReducer{} },
+	}, nil
+}
+
+// evalSpec encodes the multi-k evaluation job.
+func evalSpec(env Env, centerSets map[int][]vec.Vector, ks []int) *mr.JobSpec {
+	e := new(mrdist.Encoder).Begin()
+	EncodeEnvSpec(e, env)
+	encodeCenterSets(e, centerSets, ks)
+	return &mr.JobSpec{Kind: KindEval, Payload: e.Bytes()}
+}
+
+func buildEval(payload []byte) (mrdist.JobParts, error) {
+	d := mrdist.NewDecoder(payload)
+	env := DecodeEnvSpec(d)
+	sets, ks := decodeCenterSets(d)
+	if err := d.Err(); err != nil {
+		return mrdist.JobParts{}, fmt.Errorf("kmeansmr: bad %s payload: %w", KindEval, err)
+	}
+	return mrdist.JobParts{
+		NewPointMapper: func() mr.PointMapper {
+			return &evalMapper{env: env, centerSets: sets, ks: ks}
+		},
+		NewCombiner: func() mr.Reducer { return evalReducer{} },
+		NewReducer:  func() mr.Reducer { return evalReducer{} },
+	}, nil
+}

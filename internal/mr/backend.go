@@ -1,0 +1,253 @@
+package mr
+
+import (
+	"context"
+	"sync"
+
+	"gmeansmr/internal/dfs"
+)
+
+// JobSpec is the portable description of a job's user code: a registered
+// kind name plus an opaque payload the kind's builder decodes into mapper,
+// combiner and reducer factories (see internal/mrdist). The in-process
+// LocalRunner never reads it — the factories on the Job itself are
+// authoritative — but a distributed runner ships the spec to worker
+// processes, which reconstruct the identical factories from it. A job
+// without a spec can only run on backends that share the driver's address
+// space.
+type JobSpec struct {
+	// Kind names the job's registered builder, e.g. "kmeans.assign".
+	Kind string
+	// Payload is the kind-specific parameter block (centers, seeds, ...)
+	// in the GMWR encoding of docs/wire.md.
+	Payload []byte
+}
+
+// FileStore is the input plane of a job: split enumeration, the paper's
+// dataset-read accounting, and raw content access so distributed runners
+// can replicate inputs to the workers that own their splits. *dfs.FS
+// implements it; Job.Run and every TaskRunner reach the input only through
+// these methods (plus the per-task split readers, which run wherever the
+// task runs).
+type FileStore interface {
+	// Splits partitions the file at path into map-task splits.
+	Splits(path string) ([]dfs.Split, error)
+	// SplitSize reports the configured split size, so replicas can be
+	// built with the master's split layout.
+	SplitSize() int
+	// Contents returns the file's raw bytes without ticking any read
+	// accounting — replication is a transport concern, not a dataset scan.
+	Contents(path string) ([]byte, error)
+	// Version reports the file's generation counter, bumped on every
+	// (re)create, so replicas can be cached per (path, version).
+	Version(path string) int64
+	// CountDatasetRead records one whole-dataset scan pass.
+	CountDatasetRead()
+}
+
+// Compile-time check: the simulated DFS is a FileStore.
+var _ FileStore = (*dfs.FS)(nil)
+
+// ShuffleStore carries one job's map outputs from the map wave to the
+// reduce wave. Job.Run treats it as opaque: the runner that created it is
+// its only consumer, so the local runner holds the runs themselves
+// (MemShuffle) while a distributed runner tracks only run *locations* and
+// leaves the bytes on the workers that produced them, to be pulled by
+// reduce tasks.
+type ShuffleStore interface {
+	// NumMapTasks reports how many map-task run slots exist per partition.
+	NumMapTasks() int
+}
+
+// TaskRunner executes the two waves of a job. Job.Run owns everything
+// deterministic about a job — split enumeration, read accounting, phase
+// ordering, output concatenation — and delegates only task *placement* to
+// the runner, so every backend inherits the engine's bit-for-bit output
+// contract as long as it executes each task with ExecMapTask/ExecReduceTask
+// and merges each task's counters exactly once.
+type TaskRunner interface {
+	// NewShuffle allocates the store the map wave fills and the reduce
+	// wave drains.
+	NewShuffle(numReducers, numMapTasks int) ShuffleStore
+	// RunMapPhase executes one map task per split. Implementations must
+	// observe ctx before launching queued tasks and return the first task
+	// error (deterministic task failures fail the job, as in Hadoop).
+	RunMapPhase(ctx context.Context, j *Job, splits []dfs.Split, numReducers int, partition Partitioner, counters *Counters, shuffle ShuffleStore) error
+	// RunReducePhase executes one reduce task per partition and returns
+	// the per-partition outputs indexed by partition.
+	RunReducePhase(ctx context.Context, j *Job, numReducers int, counters *Counters, shuffle ShuffleStore) ([][]KV, error)
+}
+
+// MemShuffle is the in-memory ShuffleStore of the local backend:
+// runs[p][t] holds the combined, key-sorted run produced for partition p
+// by map task t. Slots are preallocated, so concurrent map tasks write
+// disjoint elements without locking; readers synchronize via the map
+// wave's completion.
+type MemShuffle struct {
+	runs [][][]KV
+}
+
+// NewMemShuffle allocates a store for numReducers × numMapTasks runs.
+func NewMemShuffle(numReducers, numMapTasks int) *MemShuffle {
+	runs := make([][][]KV, numReducers)
+	for p := range runs {
+		runs[p] = make([][]KV, numMapTasks)
+	}
+	return &MemShuffle{runs: runs}
+}
+
+// NumMapTasks implements ShuffleStore.
+func (s *MemShuffle) NumMapTasks() int {
+	if len(s.runs) == 0 {
+		return 0
+	}
+	return len(s.runs[0])
+}
+
+// Put stores map task t's run for partition p.
+func (s *MemShuffle) Put(t, p int, run []KV) { s.runs[p][t] = run }
+
+// Runs returns partition p's runs indexed by map task id — the merge order
+// that keeps the reduce phase deterministic.
+func (s *MemShuffle) Runs(p int) [][]KV { return s.runs[p] }
+
+// LocalRunner is the default TaskRunner: the in-process goroutine pools
+// that simulate the cluster's map and reduce slots (Cluster.MapCapacity and
+// ReduceCapacity bound the concurrency). It is the reference
+// implementation every other backend must match bit for bit.
+type LocalRunner struct{}
+
+// NewShuffle implements TaskRunner.
+func (LocalRunner) NewShuffle(numReducers, numMapTasks int) ShuffleStore {
+	return NewMemShuffle(numReducers, numMapTasks)
+}
+
+// RunMapPhase executes one map task per split on a worker pool bounded by
+// the cluster's map capacity. Context cancellation is observed before every
+// task launch: tasks already running drain, queued tasks never start.
+func (LocalRunner) RunMapPhase(ctx context.Context, j *Job, splits []dfs.Split, numReducers int, partition Partitioner, counters *Counters, shuffle ShuffleStore) error {
+	store := shuffle.(*MemShuffle)
+	sem := make(chan struct{}, j.Cluster.MapCapacity())
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for t, sp := range splits {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		// Deterministic check first: a two-way select alone would pick a
+		// ready case at random and could keep launching tasks on a
+		// cancelled context.
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = jobErr(j.Name, err)
+			}
+			mu.Unlock()
+			break
+		}
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = jobErr(j.Name, ctx.Err())
+			}
+			mu.Unlock()
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(taskID int, sp dfs.Split) {
+				defer func() { <-sem; wg.Done() }()
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
+				}
+				runs, err := j.ExecMapTask(taskID, sp, numReducers, partition, counters)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				for p := range runs {
+					store.Put(taskID, p, runs[p])
+				}
+			}(t, sp)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunReducePhase executes one reduce task per partition on a worker pool
+// bounded by the cluster's reduce capacity. Cancellation is observed before
+// every task launch, as in the map phase.
+func (LocalRunner) RunReducePhase(ctx context.Context, j *Job, numReducers int, counters *Counters, shuffle ShuffleStore) ([][]KV, error) {
+	store := shuffle.(*MemShuffle)
+	sem := make(chan struct{}, j.Cluster.ReduceCapacity())
+	outputs := make([][]KV, numReducers)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for p := 0; p < numReducers; p++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		// Deterministic check first, as in RunMapPhase.
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = jobErr(j.Name, err)
+			}
+			mu.Unlock()
+			break
+		}
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = jobErr(j.Name, ctx.Err())
+			}
+			mu.Unlock()
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(p int) {
+				defer func() { <-sem; wg.Done() }()
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if aborted {
+					return
+				}
+				out, err := j.ExecReduceTask(p, counters, store.Runs(p))
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				outputs[p] = out
+			}(p)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outputs, nil
+}

@@ -56,8 +56,10 @@ func (c Cluster) Validate() error {
 		return fmt.Errorf("mr: cluster needs at least one reduce slot per node, got %d", c.ReduceSlotsPerNode)
 	case c.TaskHeapBytes <= 0:
 		return fmt.Errorf("mr: task heap must be positive, got %d", c.TaskHeapBytes)
-	case c.MaxHeapUsage <= 0 || c.MaxHeapUsage > 1:
-		return fmt.Errorf("mr: max heap usage must be in (0,1], got %g", c.MaxHeapUsage)
+	// Written as !(in range) rather than (out of range): NaN fails every
+	// comparison, so `<= 0 || > 1` would wave a NaN MaxHeapUsage through.
+	case !(c.MaxHeapUsage > 0 && c.MaxHeapUsage <= 1):
+		return fmt.Errorf("mr: max heap usage must be a finite value in (0,1], got %g", c.MaxHeapUsage)
 	}
 	return nil
 }

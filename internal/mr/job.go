@@ -5,7 +5,6 @@ import (
 	"context"
 	"fmt"
 	"slices"
-	"sync"
 	"time"
 
 	"gmeansmr/internal/dfs"
@@ -71,6 +70,16 @@ type Job struct {
 	// nil Trace costs one pointer test and an enabled one stays off the
 	// record hot path.
 	Trace *obs.Trace
+
+	// Runner selects the execution backend. Nil selects LocalRunner, the
+	// in-process goroutine pools. Distributed runners additionally require
+	// Spec so workers can reconstruct the job's user code.
+	Runner TaskRunner
+
+	// Spec is the portable description of the job's mapper/combiner/reducer
+	// for backends that execute tasks in other processes. Optional; the
+	// local backend ignores it.
+	Spec *JobSpec
 }
 
 // Result is the outcome of a successful job.
@@ -153,30 +162,37 @@ func (j *Job) Run() (*Result, error) {
 		j.FS.CountDatasetRead()
 	}
 
-	// shuffle[p][t] holds the combined, key-sorted run produced for
-	// partition p by map task t. Indexing by task id keeps the merge order
-	// deterministic regardless of goroutine scheduling.
-	shuffle := make([][][]KV, numReducers)
-	for p := range shuffle {
-		shuffle[p] = make([][]KV, len(splits))
+	runner := j.Runner
+	if runner == nil {
+		runner = LocalRunner{}
 	}
+	// The runner owns the shuffle representation: in-memory runs for the
+	// local backend, run locations for distributed ones. shuffle[p][t] is
+	// always the combined, key-sorted run produced for partition p by map
+	// task t; indexing by task id keeps the merge order deterministic
+	// regardless of scheduling or placement.
+	shuffle := runner.NewShuffle(numReducers, len(splits))
 
 	jobSpan := j.Trace.StartSpan("job:"+j.Name, "job").
 		SetArg("map_tasks", len(splits)).
 		SetArg("reduce_tasks", numReducers)
 
 	mapSpan := j.Trace.StartSpan("map", "mr")
-	err := j.runMapPhase(ctx, splits, numReducers, partition, counters, shuffle)
+	err := runner.RunMapPhase(ctx, j, splits, numReducers, partition, counters, shuffle)
 	mapSpan.End()
 	if err != nil {
 		return nil, err
 	}
 
 	reduceSpan := j.Trace.StartSpan("reduce", "mr")
-	output, err := j.runReducePhase(ctx, numReducers, counters, shuffle)
+	outputs, err := runner.RunReducePhase(ctx, j, numReducers, counters, shuffle)
 	reduceSpan.End()
 	if err != nil {
 		return nil, err
+	}
+	var output []KV
+	for _, out := range outputs {
+		output = append(output, out...)
 	}
 
 	// Attach the merged job counters to the job span so a trace is
@@ -214,73 +230,20 @@ func (j *Job) validate() error {
 	return j.Cluster.Validate()
 }
 
-// runMapPhase executes one map task per split on a worker pool bounded by
-// the cluster's map capacity. Context cancellation is observed before every
-// task launch: tasks already running drain, queued tasks never start.
-func (j *Job) runMapPhase(ctx context.Context, splits []dfs.Split, numReducers int, partition Partitioner, counters *Counters, shuffle [][][]KV) error {
-	sem := make(chan struct{}, j.Cluster.MapCapacity())
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for t, sp := range splits {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
-		}
-		// Deterministic check first: a two-way select alone would pick a
-		// ready case at random and could keep launching tasks on a
-		// cancelled context.
-		if err := ctx.Err(); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, err)
-			}
-			mu.Unlock()
-			break
-		}
-		select {
-		case <-ctx.Done():
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
-			}
-			mu.Unlock()
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func(taskID int, sp dfs.Split) {
-				defer func() { <-sem; wg.Done() }()
-				mu.Lock()
-				aborted := firstErr != nil
-				mu.Unlock()
-				if aborted {
-					return
-				}
-				runs, err := j.runMapTask(taskID, sp, numReducers, partition, counters)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				for p := range runs {
-					shuffle[p][taskID] = runs[p]
-				}
-			}(t, sp)
-		}
-	}
-	wg.Wait()
-	return firstErr
+// jobErr wraps a phase-level error with the job name.
+func jobErr(name string, err error) error {
+	return fmt.Errorf("mr: job %q: %w", name, err)
 }
 
-// runMapTask maps one split and returns the per-partition, key-sorted,
-// combined runs.
-func (j *Job) runMapTask(taskID int, sp dfs.Split, numReducers int, partition Partitioner, counters *Counters) ([][]KV, error) {
+// ExecMapTask maps one split and returns the per-partition, key-sorted,
+// combined runs. It is the unit of work every backend executes — the local
+// runner calls it in-process, a distributed worker calls it on a replica of
+// the input — and it is deterministic: the same split, job parameters and
+// task id produce byte-identical runs and counter deltas wherever it runs.
+// Counter deltas are buffered per task and flushed into counters once at
+// completion, so callers that re-execute a task (retry, speculation) must
+// merge at most one completion's counters.
+func (j *Job) ExecMapTask(taskID int, sp dfs.Split, numReducers int, partition Partitioner, counters *Counters) ([][]KV, error) {
 	ctx := &TaskContext{
 		JobName:    j.Name,
 		Kind:       MapTask,
@@ -430,78 +393,12 @@ func (j *Job) combineRun(ctx *TaskContext, taskID int, run []KV, counters *Count
 	return out.buf, nil
 }
 
-// runReducePhase executes one reduce task per partition on a worker pool
-// bounded by the cluster's reduce capacity, returning the concatenated
-// output in partition order. Cancellation is observed before every task
-// launch, as in the map phase.
-func (j *Job) runReducePhase(ctx context.Context, numReducers int, counters *Counters, shuffle [][][]KV) ([]KV, error) {
-	sem := make(chan struct{}, j.Cluster.ReduceCapacity())
-	outputs := make([][]KV, numReducers)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	for p := 0; p < numReducers; p++ {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
-		}
-		// Deterministic check first, as in runMapPhase.
-		if err := ctx.Err(); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, err)
-			}
-			mu.Unlock()
-			break
-		}
-		select {
-		case <-ctx.Done():
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
-			}
-			mu.Unlock()
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func(p int) {
-				defer func() { <-sem; wg.Done() }()
-				mu.Lock()
-				aborted := firstErr != nil
-				mu.Unlock()
-				if aborted {
-					return
-				}
-				out, err := j.runReduceTask(p, counters, shuffle[p])
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					return
-				}
-				outputs[p] = out
-			}(p)
-		}
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	var output []KV
-	for _, out := range outputs {
-		output = append(output, out...)
-	}
-	return output, nil
-}
-
-// runReduceTask merges the runs of one partition, groups by key, and feeds
-// the groups to a fresh reducer instance.
-func (j *Job) runReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error) {
+// ExecReduceTask merges the runs of one partition, groups by key, and feeds
+// the groups to a fresh reducer instance. Like ExecMapTask it is the
+// backend-independent unit of work: runs must be indexed by map-task id
+// (the deterministic merge tie-break order), and counter deltas flush once
+// at completion.
+func (j *Job) ExecReduceTask(p int, counters *Counters, runs [][]KV) ([]KV, error) {
 	ctx := &TaskContext{
 		JobName:    j.Name,
 		Kind:       ReduceTask,

@@ -3,6 +3,7 @@ package mr
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -387,6 +388,11 @@ func TestClusterValidateAndDerived(t *testing.T) {
 		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 0, TaskHeapBytes: 1, MaxHeapUsage: 0.5},
 		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 0, MaxHeapUsage: 0.5},
 		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: 1.5},
+		// Non-finite heap fractions: NaN fails both halves of a naive
+		// `<= 0 || > 1` range check, so it used to slip through.
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: math.NaN()},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: math.Inf(1)},
+		{Nodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, TaskHeapBytes: 1, MaxHeapUsage: math.Inf(-1)},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("invalid cluster accepted: %+v", bad)

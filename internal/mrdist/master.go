@@ -1,0 +1,898 @@
+package mrdist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/obs"
+)
+
+// Metric names the runner maintains in its obs.Registry. Tests and
+// dashboards read them; docs/wire.md lists their meanings.
+const (
+	MetricTasksDispatched = "mrdist_tasks_dispatched_total"
+	MetricTasksCompleted  = "mrdist_tasks_completed_total"
+	MetricTaskRetries     = "mrdist_task_retries_total"
+	MetricSpeculative     = "mrdist_speculative_tasks_total"
+	MetricWorkerDeaths    = "mrdist_worker_deaths_total"
+)
+
+// Options configures a ProcRunner. The zero value works: it self-execs the
+// current binary as the worker (which must call MaybeWorker early in main)
+// and uses conservative failure-handling defaults.
+type Options struct {
+	// WorkerBinary is the executable spawned per node. Empty selects the
+	// current binary (os.Executable), the usual arrangement: one binary,
+	// MaybeWorker splitting the roles.
+	WorkerBinary string
+	// WorkerEnv returns extra environment entries for worker i. Tests use
+	// it to inject faults (EnvTestSlowMS).
+	WorkerEnv func(i int) []string
+	// LogDir receives one stderr log per worker (worker-<i>.log), inside
+	// a fresh run-* subdirectory so sequential runners sharing the dir
+	// never clobber each other's logs. Empty selects $MRDIST_LOG_DIR,
+	// then a temp dir.
+	LogDir string
+	// Registry receives the runner's metrics; nil allocates a private one.
+	Registry *obs.Registry
+	// MaxAttempts bounds executions per task, first try included.
+	// Default 4. Only non-deterministic failures (worker death, transport)
+	// consume attempts; a deterministic task error fails the job at once,
+	// exactly as in the local backend.
+	MaxAttempts int
+	// HeartbeatInterval is the master→worker ping period. Default 500ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive failed pings declare a
+	// worker dead. Default 3.
+	HeartbeatMisses int
+	// SpeculateAfter is how long the last lone task of a wave may run
+	// before the master launches a speculative duplicate on an idle
+	// worker (first completion wins). Default 2s; zero selects the
+	// default, negative disables speculation.
+	SpeculateAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.WorkerBinary == "" {
+		if self, err := os.Executable(); err == nil {
+			o.WorkerBinary = self
+		}
+	}
+	if o.LogDir == "" {
+		o.LogDir = os.Getenv("MRDIST_LOG_DIR")
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.SpeculateAfter == 0 {
+		o.SpeculateAfter = 2 * time.Second
+	}
+	return o
+}
+
+// workerHandle is the master's view of one worker process.
+type workerHandle struct {
+	id   int
+	addr string
+	cmd  *exec.Cmd
+	// stdin is held open for the worker's whole life; closing it is the
+	// shutdown signal (the worker exits on stdin EOF, so master death
+	// reaps the fleet even without an explicit Close).
+	stdin io.WriteCloser
+	dead  atomic.Bool
+
+	pushMu sync.Mutex
+	pushed map[string]int64 // replica version per path
+}
+
+// ProcRunner is the distributed mr.TaskRunner: it spawns one worker
+// process per cluster node (lazily, on the first job) and schedules map
+// and reduce tasks onto them with bounded retry around worker failure and
+// speculative re-execution of stragglers. Results are bit-identical to
+// mr.LocalRunner: the same task code runs on input replicas, the shuffle
+// merge order is still map-task id, and exactly one completion per task
+// merges counters.
+//
+// A ProcRunner may be shared across the chained jobs of a run (the fleet
+// is reused); it is safe for use by one job at a time. Close terminates
+// the fleet.
+type ProcRunner struct {
+	opts   Options
+	client *http.Client
+
+	mu         sync.Mutex
+	workers    []*workerHandle
+	byAddr     map[string]*workerHandle
+	logDir     string
+	closed     bool
+	stopHB     chan struct{}
+	hbStarted  bool
+	recoveryMu sync.Mutex
+
+	jobSeq atomic.Int64
+}
+
+// NewProcRunner returns a runner; no processes start until the first job.
+func NewProcRunner(opts Options) *ProcRunner {
+	return &ProcRunner{
+		opts:   opts.withDefaults(),
+		client: &http.Client{},
+		byAddr: make(map[string]*workerHandle),
+	}
+}
+
+// Registry returns the runner's metric registry.
+func (r *ProcRunner) Registry() *obs.Registry { return r.opts.Registry }
+
+// WorkerPIDs returns the OS pids of the live workers, in node order.
+// Fault-injection tests use it to kill a worker mid-wave.
+func (r *ProcRunner) WorkerPIDs() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pids := make([]int, 0, len(r.workers))
+	for _, w := range r.workers {
+		if !w.dead.Load() && w.cmd.Process != nil {
+			pids = append(pids, w.cmd.Process.Pid)
+		}
+	}
+	return pids
+}
+
+// Close shuts down the worker fleet. The runner is unusable afterwards.
+func (r *ProcRunner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	if r.hbStarted {
+		close(r.stopHB)
+	}
+	workers := r.workers
+	r.mu.Unlock()
+	for _, w := range workers {
+		w.stdin.Close() // EOF → worker exits on its own
+	}
+	for _, w := range workers {
+		reaped := make(chan struct{})
+		go func(w *workerHandle) { w.cmd.Wait(); close(reaped) }(w)
+		select {
+		case <-reaped:
+		case <-time.After(2 * time.Second):
+			if w.cmd.Process != nil {
+				w.cmd.Process.Kill()
+			}
+			<-reaped
+		}
+	}
+}
+
+// ensureWorkers grows the fleet to n workers and starts the heartbeat.
+func (r *ProcRunner) ensureWorkers(n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("mrdist: runner is closed")
+	}
+	if r.logDir == "" {
+		if r.opts.LogDir == "" {
+			dir, err := os.MkdirTemp("", "mrdist-logs-*")
+			if err != nil {
+				return err
+			}
+			r.logDir = dir
+		} else {
+			if err := os.MkdirAll(r.opts.LogDir, 0o755); err != nil {
+				return err
+			}
+			dir, err := os.MkdirTemp(r.opts.LogDir, "run-*")
+			if err != nil {
+				return err
+			}
+			r.logDir = dir
+		}
+	}
+	for len(r.workers) < n {
+		w, err := r.spawnWorker(len(r.workers))
+		if err != nil {
+			return fmt.Errorf("mrdist: spawning worker %d: %w", len(r.workers), err)
+		}
+		r.workers = append(r.workers, w)
+		r.byAddr[w.addr] = w
+	}
+	if !r.hbStarted {
+		r.stopHB = make(chan struct{})
+		r.hbStarted = true
+		go r.heartbeat()
+	}
+	return nil
+}
+
+func (r *ProcRunner) spawnWorker(id int) (*workerHandle, error) {
+	if r.opts.WorkerBinary == "" {
+		return nil, fmt.Errorf("no worker binary")
+	}
+	cmd := exec.Command(r.opts.WorkerBinary)
+	cmd.Env = append(os.Environ(), EnvWorkerMode+"=1")
+	if r.opts.WorkerEnv != nil {
+		cmd.Env = append(cmd.Env, r.opts.WorkerEnv(id)...)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	logFile, err := os.Create(filepath.Join(r.logDir, fmt.Sprintf("worker-%d.log", id)))
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return nil, err
+	}
+	logFile.Close() // the child holds its own descriptor now
+
+	// The worker announces "MRWORKER READY <addr>" as its first stdout
+	// line; give it a bounded window to come up.
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := cutPrefix(line, readyPrefix); ok {
+				addrCh <- rest
+				// Keep draining so the child never blocks on stdout.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		errCh <- fmt.Errorf("worker exited before announcing readiness (see %s)", filepath.Join(r.logDir, fmt.Sprintf("worker-%d.log", id)))
+	}()
+	select {
+	case addr := <-addrCh:
+		return &workerHandle{id: id, addr: addr, cmd: cmd, stdin: stdin, pushed: make(map[string]int64)}, nil
+	case err := <-errCh:
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("worker did not become ready within 15s")
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// markDead declares a worker failed: no further dispatch, process killed.
+// Idempotent.
+func (r *ProcRunner) markDead(w *workerHandle) {
+	if w == nil || w.dead.Swap(true) {
+		return
+	}
+	r.opts.Registry.Counter(MetricWorkerDeaths).Inc()
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	go w.cmd.Wait()
+}
+
+// heartbeat pings every worker; HeartbeatMisses consecutive failures mark
+// it dead. Tasks in flight on a dead worker fail their RPCs and requeue.
+func (r *ProcRunner) heartbeat() {
+	client := &http.Client{Timeout: r.opts.HeartbeatInterval}
+	misses := make(map[*workerHandle]int)
+	tick := time.NewTicker(r.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stopHB:
+			return
+		case <-tick.C:
+		}
+		r.mu.Lock()
+		workers := append([]*workerHandle(nil), r.workers...)
+		r.mu.Unlock()
+		for _, w := range workers {
+			if w.dead.Load() {
+				continue
+			}
+			resp, err := client.Get("http://" + w.addr + "/v1/ping")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err == nil && resp.StatusCode == http.StatusOK {
+				misses[w] = 0
+				continue
+			}
+			misses[w]++
+			if misses[w] >= r.opts.HeartbeatMisses {
+				r.markDead(w)
+			}
+		}
+	}
+}
+
+// procShuffle is the distributed ShuffleStore: it records *where* each map
+// task's winning output lives rather than the runs themselves, plus what a
+// later recovery needs to re-create lost outputs.
+type procShuffle struct {
+	jobID       string
+	numReducers int
+
+	mu  sync.Mutex
+	loc []string // winning worker address per map task
+
+	splits []dfs.Split // retained for map-output recovery
+}
+
+// NumMapTasks implements mr.ShuffleStore.
+func (s *procShuffle) NumMapTasks() int { return len(s.loc) }
+
+func (s *procShuffle) location(t int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loc[t]
+}
+
+func (s *procShuffle) setLocation(t int, addr string) {
+	s.mu.Lock()
+	s.loc[t] = addr
+	s.mu.Unlock()
+}
+
+// NewShuffle implements mr.TaskRunner.
+func (r *ProcRunner) NewShuffle(numReducers, numMapTasks int) mr.ShuffleStore {
+	return &procShuffle{
+		jobID:       fmt.Sprintf("j%d", r.jobSeq.Add(1)),
+		numReducers: numReducers,
+		loc:         make([]string, numMapTasks),
+	}
+}
+
+// retryableError marks a failure worth re-attempting on another worker —
+// transport trouble, a stale replica or a lost shuffle source, never a
+// deterministic task error. blameWorker reports whether the executing
+// worker itself is suspect (transport failures: yes; a stale replica or a
+// dead *peer* during shuffle pull: no — killing the executor would
+// punish a healthy worker).
+type retryableError struct {
+	err         error
+	blameWorker bool
+}
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+// fetchFailError reports a reduce task's failed shuffle pull from addr.
+type fetchFailError struct{ addr string }
+
+func (e fetchFailError) Error() string {
+	return fmt.Sprintf("mrdist: shuffle fetch from %s failed", e.addr)
+}
+
+// postWire POSTs a GMWR body and returns the response body. Transport
+// errors are retryable; a non-200 response is a deterministic server-side
+// failure and is not.
+func postWire(c *http.Client, addr, path string, body []byte) ([]byte, error) {
+	resp, err := c.Post("http://"+addr+path, "application/x-gmwr", bytes.NewReader(body))
+	if err != nil {
+		return nil, retryableError{err: err, blameWorker: true}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, retryableError{err: err, blameWorker: true}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mrdist: %s%s: HTTP %d: %s", addr, path, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
+// pushInputs replicates the job's input files to w, skipping files whose
+// replica version is already current. Replication moves bytes without
+// ticking read accounting (dfs.Contents), so the paper's cost model sees
+// the same dataset-read counts on both backends.
+func (r *ProcRunner) pushInputs(j *mr.Job, w *workerHandle) error {
+	w.pushMu.Lock()
+	defer w.pushMu.Unlock()
+	for _, path := range j.Input {
+		version := j.FS.Version(path)
+		if w.pushed[path] == version {
+			continue
+		}
+		data, err := j.FS.Contents(path)
+		if err != nil {
+			return err
+		}
+		u := fmt.Sprintf("http://%s/v1/fs/push?path=%s&version=%d&split=%d",
+			w.addr, url.QueryEscape(path), version, j.FS.SplitSize())
+		resp, err := r.client.Post(u, "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			return retryableError{err: err, blameWorker: true}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("mrdist: push %s to %s: HTTP %d", path, w.addr, resp.StatusCode)
+		}
+		w.pushed[path] = version
+	}
+	return nil
+}
+
+// execMapRPC runs one map task on w and returns the task's counter deltas.
+// The output runs stay on the worker for shuffle pull.
+func (r *ProcRunner) execMapRPC(j *mr.Job, sh *procShuffle, taskID int, numReducers int, w *workerHandle) (*mr.Counters, error) {
+	if err := r.pushInputs(j, w); err != nil {
+		return nil, err
+	}
+	sp := sh.splits[taskID]
+	var e Encoder
+	e.Begin()
+	encodeTaskRequest(&e, sh.jobID, j, numReducers)
+	e.U32(uint32(taskID))
+	e.Str(sp.Path).U32(uint32(sp.Index)).I64(sp.Start).I64(sp.End)
+	e.I64(j.FS.Version(sp.Path))
+	body, err := postWire(r.client, w.addr, "/v1/task/map", e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := NewDecoder(body)
+	switch st := d.U8(); st {
+	case statusOK:
+		counters := mr.NewCounters()
+		if !d.MergeCounters(counters) {
+			return nil, d.Err()
+		}
+		return counters, nil
+	case statusStale:
+		// Raced with a replica update; invalidate our record and retry.
+		w.pushMu.Lock()
+		delete(w.pushed, sp.Path)
+		w.pushMu.Unlock()
+		return nil, retryableError{err: fmt.Errorf("mrdist: stale replica of %s on %s", sp.Path, w.addr)}
+	case statusTaskErr:
+		return nil, decodeTaskErr(d, j.Name)
+	default:
+		return nil, fmt.Errorf("mrdist: map task %d on %s: unexpected status %d", taskID, w.addr, st)
+	}
+}
+
+// decodeTaskErr reconstructs a deterministic task failure, restoring the
+// mr.ErrHeapSpace sentinel so errors.Is-based callers (the Fig. 2 heap
+// experiment) behave identically across backends.
+func decodeTaskErr(d *Decoder, jobName string) error {
+	kind := mr.TaskKind(d.Str())
+	taskID := int(d.U32())
+	heap := d.Bool()
+	msg := d.Str()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	inner := error(mr.ErrHeapSpace)
+	if !heap {
+		inner = fmt.Errorf("%s", msg)
+	}
+	return &mr.TaskError{Job: jobName, Kind: kind, TaskID: taskID, Err: inner}
+}
+
+// execReduceRPC runs one reduce task on w against the current map-output
+// locations and returns its output and counter deltas.
+func (r *ProcRunner) execReduceRPC(j *mr.Job, sh *procShuffle, p, numReducers int, w *workerHandle) ([]mr.KV, *mr.Counters, error) {
+	sh.mu.Lock()
+	locs := append([]string(nil), sh.loc...)
+	sh.mu.Unlock()
+	var e Encoder
+	e.Begin()
+	encodeTaskRequest(&e, sh.jobID, j, numReducers)
+	e.U32(uint32(p)).U32(uint32(len(locs)))
+	for _, addr := range locs {
+		e.Str(addr)
+	}
+	body, err := postWire(r.client, w.addr, "/v1/task/reduce", e.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	d := NewDecoder(body)
+	switch st := d.U8(); st {
+	case statusOK:
+		out := d.KVs()
+		counters := mr.NewCounters()
+		if !d.MergeCounters(counters) {
+			return nil, nil, d.Err()
+		}
+		return out, counters, nil
+	case statusFetchFail:
+		addr := d.Str()
+		if err := d.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fetchFailError{addr: addr}
+	case statusTaskErr:
+		return nil, nil, decodeTaskErr(d, j.Name)
+	default:
+		return nil, nil, fmt.Errorf("mrdist: reduce task %d on %s: unexpected status %d", p, w.addr, st)
+	}
+}
+
+// recoverMapOutputs re-executes the map tasks whose winning outputs lived
+// on dead workers, installing new locations. Counters are NOT merged — the
+// first completion of each task already was, and re-merging would break
+// the bit-identical counter pin. Serialized; re-checks under the lock so
+// concurrent reduce failures converge on one recovery.
+func (r *ProcRunner) recoverMapOutputs(j *mr.Job, sh *procShuffle, numReducers int) error {
+	r.recoveryMu.Lock()
+	defer r.recoveryMu.Unlock()
+	var lost []int
+	sh.mu.Lock()
+	for t, addr := range sh.loc {
+		w := r.workerAt(addr)
+		if w == nil || w.dead.Load() {
+			lost = append(lost, t)
+		}
+	}
+	sh.mu.Unlock()
+	for _, t := range lost {
+		recovered := false
+		for attempt := 0; attempt < r.opts.MaxAttempts && !recovered; attempt++ {
+			w := r.pickLive(t)
+			if w == nil {
+				return fmt.Errorf("mr: job %q: no live workers to recover map output %d", j.Name, t)
+			}
+			r.opts.Registry.Counter(MetricTaskRetries).Inc()
+			if _, err := r.execMapRPC(j, sh, t, numReducers, w); err != nil {
+				if _, retry := err.(retryableError); retry {
+					r.markDead(w)
+					continue
+				}
+				return err
+			}
+			sh.setLocation(t, w.addr)
+			recovered = true
+		}
+		if !recovered {
+			return fmt.Errorf("mr: job %q: could not recover map output %d", j.Name, t)
+		}
+	}
+	return nil
+}
+
+func (r *ProcRunner) workerAt(addr string) *workerHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byAddr[addr]
+}
+
+// pickLive returns a live worker, preferring the task's home node.
+func (r *ProcRunner) pickLive(taskID int) *workerHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.workers) == 0 {
+		return nil
+	}
+	if w := r.workers[taskID%len(r.workers)]; !w.dead.Load() {
+		return w
+	}
+	for _, w := range r.workers {
+		if !w.dead.Load() {
+			return w
+		}
+	}
+	return nil
+}
+
+// RunMapPhase implements mr.TaskRunner: one map task per split, scheduled
+// over the worker fleet. After the wave it verifies every winning output
+// still lives on a live worker and recovers any that do not.
+func (r *ProcRunner) RunMapPhase(ctx context.Context, j *mr.Job, splits []dfs.Split, numReducers int, partition mr.Partitioner, counters *mr.Counters, shuffle mr.ShuffleStore) error {
+	if j.Spec == nil {
+		return fmt.Errorf("mr: job %q: the proc backend requires Job.Spec (a registered job kind)", j.Name)
+	}
+	if j.Partition != nil {
+		return fmt.Errorf("mr: job %q: the proc backend supports only the default partitioner", j.Name)
+	}
+	_ = partition // workers apply mr.DefaultPartitioner, verified above
+	if err := r.ensureWorkers(j.Cluster.Nodes); err != nil {
+		return fmt.Errorf("mr: job %q: %w", j.Name, err)
+	}
+	sh := shuffle.(*procShuffle)
+	sh.splits = splits
+
+	err := r.runWave(ctx, j, "map-task", len(splits), j.Cluster.MapSlotsPerNode, j.Cluster.Nodes,
+		func(taskID int, w *workerHandle) (func(), error) {
+			taskCounters, err := r.execMapRPC(j, sh, taskID, numReducers, w)
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				taskCounters.MergeInto(counters)
+				sh.setLocation(taskID, w.addr)
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+	// Workers may have died after completing tasks; make every winning
+	// output reachable before the reduce wave starts pulling.
+	return r.recoverMapOutputs(j, sh, numReducers)
+}
+
+// RunReducePhase implements mr.TaskRunner: one reduce task per partition,
+// each pulling its runs from the map-output locations. A failed shuffle
+// pull marks the source dead, recovers its outputs, and retries the
+// reduce task.
+func (r *ProcRunner) RunReducePhase(ctx context.Context, j *mr.Job, numReducers int, counters *mr.Counters, shuffle mr.ShuffleStore) ([][]mr.KV, error) {
+	sh := shuffle.(*procShuffle)
+	outputs := make([][]mr.KV, numReducers)
+	var outMu sync.Mutex
+
+	err := r.runWave(ctx, j, "reduce-task", numReducers, j.Cluster.ReduceSlotsPerNode, j.Cluster.Nodes,
+		func(p int, w *workerHandle) (func(), error) {
+			out, taskCounters, err := r.execReduceRPC(j, sh, p, numReducers, w)
+			if ff, ok := err.(fetchFailError); ok {
+				// The map output's host is gone: declare it dead, rebuild
+				// the lost outputs elsewhere, then retry this reduce task.
+				r.markDead(r.workerAt(ff.addr))
+				if rerr := r.recoverMapOutputs(j, sh, numReducers); rerr != nil {
+					return nil, rerr
+				}
+				return nil, retryableError{err: ff}
+			}
+			if err != nil {
+				return nil, err
+			}
+			return func() {
+				outMu.Lock()
+				outputs[p] = out
+				outMu.Unlock()
+				taskCounters.MergeInto(counters)
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	r.freeJob(sh.jobID)
+	return outputs, nil
+}
+
+// freeJob asks every live worker to drop the job's retained map outputs.
+func (r *ProcRunner) freeJob(jobID string) {
+	r.mu.Lock()
+	workers := append([]*workerHandle(nil), r.workers...)
+	r.mu.Unlock()
+	for _, w := range workers {
+		if w.dead.Load() {
+			continue
+		}
+		resp, err := r.client.Post("http://"+w.addr+"/v1/job/free?job="+jobID, "text/plain", nil)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+}
+
+// waveEvent is one task completion (or failure) arriving at the wave loop.
+type waveEvent struct {
+	taskID int
+	w      *workerHandle
+	apply  func()
+	err    error
+}
+
+// runWave schedules n tasks over the fleet and blocks until all complete
+// or the wave fails. Guarantees:
+//
+//   - slot discipline: at most slotsPerWorker tasks in flight per worker;
+//   - first-completion-wins: apply runs exactly once per task, so counters
+//     merge exactly once and outputs are installed exactly once;
+//   - bounded retry: a retryable failure requeues the task (and usually
+//     marks its worker dead) until MaxAttempts is exhausted;
+//   - straggler speculation: when only stragglers remain, the oldest
+//     lone-copy task older than SpeculateAfter is duplicated onto an idle
+//     worker, at most once per task;
+//   - deterministic failures (task errors) fail the wave immediately,
+//     matching the local backend.
+func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n, slotsPerWorker, nodes int, exec func(taskID int, w *workerHandle) (func(), error)) error {
+	if n == 0 {
+		return nil
+	}
+	reg := r.opts.Registry
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	var (
+		attempts   = make([]int, n)
+		done       = make([]bool, n)
+		running    = make([]int, n)
+		startedAt  = make([]time.Time, n)
+		speculated = make([]bool, n)
+		doneCount  = 0
+		inFlight   = 0
+		slots      = make(map[*workerHandle]int)
+	)
+	// Buffered to the dispatch ceiling so no worker goroutine can ever
+	// block sending its event — even events arriving after an early error
+	// return just land in the buffer and get collected.
+	events := make(chan waveEvent, n*(r.opts.MaxAttempts+1)+16)
+
+	launch := func(taskID int, w *workerHandle) {
+		if running[taskID] == 0 {
+			startedAt[taskID] = time.Now()
+		}
+		running[taskID]++
+		slots[w]++
+		inFlight++
+		reg.Counter(MetricTasksDispatched).Inc()
+		attempt := attempts[taskID]
+		go func() {
+			span := j.Trace.StartSpan(spanName, "task").
+				SetTID(int64(taskID)).
+				SetArg("worker", w.id).
+				SetArg("attempt", attempt)
+			apply, err := exec(taskID, w)
+			span.End()
+			events <- waveEvent{taskID: taskID, w: w, apply: apply, err: err}
+		}()
+	}
+
+	// pickWorker prefers the task's home node (taskID mod nodes, the same
+	// placement rule TaskContext.NodeID encodes), then any live worker
+	// with a free slot.
+	pickWorker := func(taskID int) *workerHandle {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		fleet := r.workers
+		if len(fleet) > nodes {
+			fleet = fleet[:nodes]
+		}
+		if len(fleet) == 0 {
+			return nil
+		}
+		if w := fleet[taskID%len(fleet)]; !w.dead.Load() && slots[w] < slotsPerWorker {
+			return w
+		}
+		for _, w := range fleet {
+			if !w.dead.Load() && slots[w] < slotsPerWorker {
+				return w
+			}
+		}
+		return nil
+	}
+
+	spec := time.NewTicker(r.opts.HeartbeatInterval)
+	defer spec.Stop()
+
+	var firstErr error
+	for doneCount < n && firstErr == nil {
+		// Fill free slots from the pending queue.
+		for len(pending) > 0 {
+			w := pickWorker(pending[0])
+			if w == nil {
+				break
+			}
+			t := pending[0]
+			pending = pending[1:]
+			launch(t, w)
+		}
+		if inFlight == 0 {
+			if len(pending) > 0 {
+				firstErr = fmt.Errorf("mr: job %q: all workers dead with %d tasks unfinished", j.Name, len(pending))
+			}
+			break
+		}
+		select {
+		case <-ctx.Done():
+			firstErr = fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
+		case <-spec.C:
+			if r.opts.SpeculateAfter <= 0 || len(pending) > 0 {
+				break
+			}
+			// Tail of the wave: duplicate the oldest lone straggler.
+			best, bestAge := -1, r.opts.SpeculateAfter
+			for t := 0; t < n; t++ {
+				if !done[t] && running[t] == 1 && !speculated[t] {
+					if age := time.Since(startedAt[t]); age >= bestAge {
+						best, bestAge = t, age
+					}
+				}
+			}
+			if best >= 0 {
+				if w := pickWorker(best); w != nil {
+					speculated[best] = true
+					reg.Counter(MetricSpeculative).Inc()
+					launch(best, w)
+				}
+			}
+		case ev := <-events:
+			inFlight--
+			slots[ev.w]--
+			running[ev.taskID]--
+			switch {
+			case ev.err == nil && !done[ev.taskID]:
+				done[ev.taskID] = true
+				doneCount++
+				reg.Counter(MetricTasksCompleted).Inc()
+				ev.apply()
+			case ev.err == nil || done[ev.taskID]:
+				// Speculative loser (either outcome): drop silently.
+			default:
+				re, retry := ev.err.(retryableError)
+				if !retry {
+					firstErr = ev.err
+					break
+				}
+				if re.blameWorker {
+					// A transport failure usually means the worker died.
+					// Heartbeats would catch it too; this is faster.
+					r.markDead(ev.w)
+				}
+				attempts[ev.taskID]++
+				if attempts[ev.taskID] >= r.opts.MaxAttempts {
+					firstErr = fmt.Errorf("mr: job %q: task %d failed %d attempts: %w", j.Name, ev.taskID, attempts[ev.taskID], ev.err)
+					break
+				}
+				if running[ev.taskID] == 0 {
+					reg.Counter(MetricTaskRetries).Inc()
+					pending = append(pending, ev.taskID)
+				}
+			}
+		}
+	}
+	// Drain in-flight tasks so no goroutine outlives the wave — the same
+	// guarantee the local runner's WaitGroup gives. Their results are
+	// discarded (the wave already failed, or they are speculative losers
+	// whose winner already applied).
+	for inFlight > 0 {
+		ev := <-events
+		inFlight--
+		if firstErr == nil && ev.err == nil && !done[ev.taskID] {
+			done[ev.taskID] = true
+			doneCount++
+			reg.Counter(MetricTasksCompleted).Inc()
+			ev.apply()
+		}
+	}
+	return firstErr
+}
+
+// Compile-time check.
+var _ mr.TaskRunner = (*ProcRunner)(nil)
