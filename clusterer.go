@@ -2,8 +2,10 @@ package gmeansmr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"time"
 
@@ -126,10 +128,16 @@ const (
 	CounterShuffleBytes = mr.CounterShuffleBytes
 )
 
+// MetricBackendFallbacks counts runs that downgraded from the proc
+// backend to the local backend under WithBackendFallback. It ticks on
+// the WithObserver registry.
+const MetricBackendFallbacks = "gmeansmr_backend_fallbacks_total"
+
 // config is the resolved option set of a Clusterer.
 type config struct {
 	algorithm   Algorithm
 	backend     Backend
+	fallback    bool
 	nodes       int
 	alpha       float64
 	maxK        int
@@ -181,6 +189,17 @@ func WithBackend(b Backend) Option {
 			c.setErr(fmt.Errorf("gmeansmr: unknown backend %q", b))
 		}
 	}
+}
+
+// WithBackendFallback lets a BackendProc run degrade gracefully: when
+// the distributed backend is unavailable — its workers failed to start,
+// or every worker died mid-run — the run restarts on BackendLocal
+// instead of failing, with the reason logged and counted on the
+// WithObserver registry (MetricBackendFallbacks). Only backend
+// unavailability triggers the downgrade; task errors, invalid input and
+// context cancellation still fail the run. No effect on BackendLocal.
+func WithBackendFallback() Option {
+	return func(c *config) { c.fallback = true }
 }
 
 // WithNodes sets the simulated MapReduce cluster size (default 4, the
@@ -454,10 +473,26 @@ func (c *Clusterer) dispatch(ctx context.Context, src DataSource, tr *obs.Trace)
 	case AlgorithmXMeans:
 		return c.runXMeans(ctx, src)
 	case AlgorithmMultiK:
-		return c.runMultiK(ctx, src, tr)
+		return c.withFallback(ctx, src, tr, c.runMultiK)
 	default:
-		return c.runGMeansMR(ctx, src, tr)
+		return c.withFallback(ctx, src, tr, c.runGMeansMR)
 	}
+}
+
+// withFallback runs an MR algorithm on the configured backend and, when
+// WithBackendFallback is set and the proc backend reports itself
+// unavailable, restages and reruns the whole algorithm on the local
+// backend. A full rerun (not a mid-run switch) keeps the cost counters
+// honest: they describe exactly one complete execution.
+func (c *Clusterer) withFallback(ctx context.Context, src DataSource, tr *obs.Trace, run func(context.Context, DataSource, *obs.Trace, Backend) (*Result, error)) (*Result, error) {
+	res, err := run(ctx, src, tr, c.cfg.backend)
+	if err == nil || !c.cfg.fallback || c.cfg.backend != BackendProc ||
+		!errors.Is(err, mrdist.ErrBackendUnavailable) || ctx.Err() != nil {
+		return res, err
+	}
+	log.Printf("gmeansmr: proc backend unavailable, falling back to local backend: %v", err)
+	c.cfg.observer.Counter(MetricBackendFallbacks).Inc()
+	return run(ctx, src, tr, BackendLocal)
 }
 
 // writeTrace exports the run's spans to the configured writers. Traces
@@ -497,8 +532,10 @@ const stagedPath = "/data/points.txt"
 
 // stage streams src into a fresh simulated DFS — validating dimensionality
 // and finiteness point by point, never materializing the dataset — and
-// right-sizes the splits so every map slot gets a few tasks.
-func (c *Clusterer) stage(ctx context.Context, src DataSource, tr *obs.Trace) (*staged, error) {
+// right-sizes the splits so every map slot gets a few tasks. backend
+// selects the execution backend for this staging (normally the
+// configured one; the fallback path restages on BackendLocal).
+func (c *Clusterer) stage(ctx context.Context, src DataSource, tr *obs.Trace, backend Backend) (*staged, error) {
 	stageSpan := tr.StartSpan("stage", "phase")
 	defer stageSpan.End()
 	cluster := mr.DefaultCluster()
@@ -557,7 +594,7 @@ func (c *Clusterer) stage(ctx context.Context, src DataSource, tr *obs.Trace) (*
 		Trace: tr,
 	}
 	st := &staged{env: env, n: n, cleanup: func() {}}
-	if c.cfg.backend == BackendProc {
+	if backend == BackendProc {
 		// One worker fleet per run, shared by every chained job; the
 		// observer registry (when set) receives the runner's scheduling
 		// metrics next to the facade's own.
@@ -572,8 +609,8 @@ func (c *Clusterer) stage(ctx context.Context, src DataSource, tr *obs.Trace) (*
 // Algorithm backends
 // ---------------------------------------------------------------------------
 
-func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource, tr *obs.Trace) (*Result, error) {
-	st, err := c.stage(ctx, src, tr)
+func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource, tr *obs.Trace, backend Backend) (*Result, error) {
+	st, err := c.stage(ctx, src, tr, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -649,8 +686,8 @@ func (c *Clusterer) runGMeansMR(ctx context.Context, src DataSource, tr *obs.Tra
 	return out, nil
 }
 
-func (c *Clusterer) runMultiK(ctx context.Context, src DataSource, tr *obs.Trace) (*Result, error) {
-	st, err := c.stage(ctx, src, tr)
+func (c *Clusterer) runMultiK(ctx context.Context, src DataSource, tr *obs.Trace, backend Backend) (*Result, error) {
+	st, err := c.stage(ctx, src, tr, backend)
 	if err != nil {
 		return nil, err
 	}

@@ -52,6 +52,7 @@ func main() {
 	var (
 		algo     = flag.String("algo", "gmeans-mr", "algorithm: gmeans-mr, seq-gmeans, xmeans, multik")
 		backend  = flag.String("backend", "local", "MR execution backend: local (in-process) or proc (worker subprocesses)")
+		fallback = flag.Bool("fallback", false, "degrade to the local backend if the proc backend is unavailable")
 		nodes    = flag.Int("nodes", 4, "simulated cluster nodes (MR algorithms)")
 		alpha    = flag.Float64("alpha", 0.0001, "Anderson-Darling significance level")
 		maxK     = flag.Int("maxk", 0, "stop splitting at this many centers (0 = unlimited)")
@@ -80,6 +81,9 @@ func main() {
 		gmeansmr.WithNodes(*nodes),
 		gmeansmr.WithSeed(*seed),
 		gmeansmr.WithSplitSize(*split),
+	}
+	if *fallback {
+		opts = append(opts, gmeansmr.WithBackendFallback())
 	}
 	if *alpha > 0 {
 		opts = append(opts, gmeansmr.WithAlpha(*alpha))

@@ -39,6 +39,7 @@ func main() {
 
 	var (
 		backend   = flag.String("backend", "local", "MR execution backend: local (in-process) or proc (worker subprocesses)")
+		fallback  = flag.Bool("fallback", false, "degrade to the local backend if the proc backend is unavailable")
 		kmin      = flag.Int("kmin", 1, "smallest candidate k")
 		kmax      = flag.Int("kmax", 16, "largest candidate k")
 		kstep     = flag.Int("kstep", 1, "candidate step")
@@ -57,7 +58,7 @@ func main() {
 	}
 
 	var iterTimes []time.Duration
-	c, err := gmeansmr.New(
+	copts := []gmeansmr.Option{
 		gmeansmr.WithAlgorithm(gmeansmr.AlgorithmMultiK),
 		gmeansmr.WithBackend(gmeansmr.Backend(*backend)),
 		gmeansmr.WithKRange(*kmin, *kmax, *kstep),
@@ -69,7 +70,11 @@ func main() {
 		gmeansmr.WithProgress(func(p gmeansmr.Progress) {
 			iterTimes = append(iterTimes, p.Duration)
 		}),
-	)
+	}
+	if *fallback {
+		copts = append(copts, gmeansmr.WithBackendFallback())
+	}
+	c, err := gmeansmr.New(copts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,97 @@
+package gmeansmr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gmeansmr/internal/mrdist"
+	"gmeansmr/internal/obs"
+)
+
+// TestBackendFallbackDowngradesOnUnavailable drives withFallback with a
+// stub runner: a proc attempt that reports backend unavailability must be
+// rerun on the local backend, once, with the metric ticked.
+func TestBackendFallbackDowngradesOnUnavailable(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(WithBackend(BackendProc), WithBackendFallback(), WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran []Backend
+	want := &Result{K: 3}
+	res, err := c.withFallback(context.Background(), FromPoints([]Point{{0}}), nil,
+		func(_ context.Context, _ DataSource, _ *obs.Trace, b Backend) (*Result, error) {
+			ran = append(ran, b)
+			if b == BackendProc {
+				return nil, fmt.Errorf("mr: job \"x\": %w", mrdist.ErrBackendUnavailable)
+			}
+			return want, nil
+		})
+	if err != nil || res != want {
+		t.Fatalf("fallback run: res=%v err=%v", res, err)
+	}
+	if len(ran) != 2 || ran[0] != BackendProc || ran[1] != BackendLocal {
+		t.Fatalf("backends run = %v, want [proc local]", ran)
+	}
+	if got := reg.Counter(MetricBackendFallbacks).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricBackendFallbacks, got)
+	}
+}
+
+// TestBackendFallbackLeavesOtherFailuresAlone: only unavailability
+// downgrades — a task error (or any other failure) still fails the run,
+// and without the option even unavailability does.
+func TestBackendFallbackLeavesOtherFailuresAlone(t *testing.T) {
+	taskErr := errors.New("deterministic task failure")
+	cases := []struct {
+		name string
+		opts []Option
+		err  error
+	}{
+		{"task error with fallback", []Option{WithBackend(BackendProc), WithBackendFallback()}, taskErr},
+		{"unavailable without fallback", []Option{WithBackend(BackendProc)}, fmt.Errorf("x: %w", mrdist.ErrBackendUnavailable)},
+		{"local backend", []Option{WithBackendFallback()}, fmt.Errorf("x: %w", mrdist.ErrBackendUnavailable)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			calls := 0
+			_, err = c.withFallback(context.Background(), FromPoints([]Point{{0}}), nil,
+				func(_ context.Context, _ DataSource, _ *obs.Trace, _ Backend) (*Result, error) {
+					calls++
+					return nil, tc.err
+				})
+			if !errors.Is(err, tc.err) {
+				t.Errorf("err = %v, want the original failure", err)
+			}
+			if calls != 1 {
+				t.Errorf("run called %d times, want 1 (no downgrade)", calls)
+			}
+		})
+	}
+}
+
+// TestBackendFallbackHonorsCancellation: a cancelled context must not
+// trigger a local rerun even when the proc error wraps unavailability.
+func TestBackendFallbackHonorsCancellation(t *testing.T) {
+	c, err := New(WithBackend(BackendProc), WithBackendFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err = c.withFallback(ctx, FromPoints([]Point{{0}}), nil,
+		func(_ context.Context, _ DataSource, _ *obs.Trace, _ Backend) (*Result, error) {
+			calls++
+			cancel()
+			return nil, fmt.Errorf("x: %w", mrdist.ErrBackendUnavailable)
+		})
+	if err == nil || calls != 1 {
+		t.Fatalf("cancelled fallback: err=%v calls=%d", err, calls)
+	}
+}

@@ -1,0 +1,304 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// payload is what the backing handler serves: a status byte followed by
+// body bytes, shaped like a worker reply.
+var payload = append([]byte{0}, []byte("GMWRx123456789abcdef0123456789")...)
+
+func backing() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(payload)
+	})
+}
+
+// get issues a GET through a client whose transport is wrapped by in.
+func get(t *testing.T, in *Injector, url, path string) ([]byte, *http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: in.Transport(nil), Timeout: 2 * time.Second}
+	resp, err := client.Get(url + path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp, err
+}
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	base := http.DefaultTransport
+	if got := in.Transport(base); got != base {
+		t.Error("nil injector wrapped the transport")
+	}
+	next := http.NewServeMux() // comparable handler type
+	if got := in.Middleware(next); got != http.Handler(next) {
+		t.Error("nil injector wrapped the handler")
+	}
+	if in.Injections() != 0 || in.RuleInjections() != nil {
+		t.Error("nil injector reported activity")
+	}
+	if New(Scenario{Name: "empty"}) != nil {
+		t.Error("ruleless scenario compiled to a live injector")
+	}
+}
+
+func TestScenarioEnvRoundTrip(t *testing.T) {
+	sc := Scenario{
+		Name: "mixed",
+		Seed: 42,
+		Rules: []Rule{
+			{Match: "/v1/task", Kind: KindHTTP500, Count: 3},
+			{Kind: KindLatency, Prob: 0.5, Latency: 40},
+		},
+	}
+	enc, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseScenario(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sc.Name || got.Seed != sc.Seed || len(got.Rules) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Rules[0] != sc.Rules[0] || got.Rules[1] != sc.Rules[1] {
+		t.Fatalf("rules differ: %+v", got.Rules)
+	}
+
+	t.Setenv(EnvScenario, enc)
+	in, err := FromEnv()
+	if err != nil || in == nil {
+		t.Fatalf("FromEnv: %v, %v", in, err)
+	}
+	if in.Scenario().Name != "mixed" {
+		t.Errorf("FromEnv scenario = %q", in.Scenario().Name)
+	}
+
+	t.Setenv(EnvScenario, "")
+	if in, err := FromEnv(); in != nil || err != nil {
+		t.Errorf("empty env: %v, %v", in, err)
+	}
+	t.Setenv(EnvScenario, "{not json")
+	if _, err := FromEnv(); err == nil {
+		t.Error("malformed scenario did not error")
+	}
+}
+
+func TestTransportHTTP500(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "burst", Rules: []Rule{{Kind: KindHTTP500, Count: 2}}})
+
+	for i := 0; i < 2; i++ {
+		_, resp, err := get(t, in, srv.URL, "/v1/task/map")
+		if err != nil || resp.StatusCode != 500 {
+			t.Fatalf("injected call %d: status=%v err=%v", i, resp, err)
+		}
+	}
+	// Count exhausted: healthy again.
+	body, resp, err := get(t, in, srv.URL, "/v1/task/map")
+	if err != nil || resp.StatusCode != 200 || string(body) != string(payload) {
+		t.Fatalf("post-burst call: status=%v err=%v body=%q", resp, err, body)
+	}
+	if in.Injections() != 2 {
+		t.Errorf("injections = %d, want 2", in.Injections())
+	}
+}
+
+func TestTransportRefuse(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "refuse", Rules: []Rule{{Kind: KindRefuse}}})
+	_, _, err := get(t, in, srv.URL, "/v1/ping")
+	var op *net.OpError
+	if err == nil || !errors.As(err, &op) {
+		t.Fatalf("err = %v, want net.OpError", err)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "trunc", Rules: []Rule{{Kind: KindTruncate}}})
+	body, _, err := get(t, in, srv.URL, "/v1/shuffle")
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+	if len(body) > truncateAfter {
+		t.Errorf("read %d bytes through a truncation capped at %d", len(body), truncateAfter)
+	}
+}
+
+func TestTransportCorrupt(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "corrupt", Rules: []Rule{{Kind: KindCorrupt}}})
+	body, _, err := get(t, in, srv.URL, "/v1/task/reduce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("corrupt changed length: %d vs %d", len(body), len(payload))
+	}
+	if body[0] != payload[0] {
+		t.Error("status byte was corrupted; it must survive")
+	}
+	if string(body[1:]) == string(payload[1:]) {
+		t.Error("body bytes not corrupted")
+	}
+}
+
+func TestTransportLatency(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "slow", Rules: []Rule{{Kind: KindLatency, Latency: 60}}})
+	start := time.Now()
+	body, _, err := get(t, in, srv.URL, "/v1/fs/push")
+	if err != nil || string(body) != string(payload) {
+		t.Fatalf("latency fault broke the request: %v", err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Errorf("request took %v, want >= 60ms", d)
+	}
+}
+
+func TestTransportHangHitsDeadline(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "hang", Rules: []Rule{{Kind: KindHang, Latency: 10_000}}})
+	client := &http.Client{Transport: in.Transport(nil), Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL + "/v1/task/map")
+	if err == nil {
+		t.Fatal("hang fault produced a response")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("hang outlived the client deadline: %v", d)
+	}
+}
+
+func TestMatchSkipAndOrder(t *testing.T) {
+	srv := httptest.NewServer(backing())
+	defer srv.Close()
+	in := New(Scenario{Name: "scoped", Rules: []Rule{
+		{Match: "/v1/task", Kind: KindHTTP500, Skip: 1, Count: 1},
+	}})
+
+	// Non-matching path: untouched even though the rule is armed.
+	if _, resp, err := get(t, in, srv.URL, "/v1/ping"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("non-matching path perturbed: %v %v", resp, err)
+	}
+	// First matching request is skipped.
+	if _, resp, err := get(t, in, srv.URL, "/v1/task/map"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("skip not honored: %v %v", resp, err)
+	}
+	// Second matching request injects.
+	if _, resp, err := get(t, in, srv.URL, "/v1/task/map"); err != nil || resp.StatusCode != 500 {
+		t.Fatalf("armed rule did not fire: %v %v", resp, err)
+	}
+	if got := in.RuleInjections(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("rule injections = %v", got)
+	}
+}
+
+func TestProbDeterministicUnderSeed(t *testing.T) {
+	fire := func(seed int64) []bool {
+		in := New(Scenario{Name: "p", Seed: seed, Rules: []Rule{{Kind: KindHTTP500, Prob: 0.5}}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.pick("/x") != nil
+		}
+		return out
+	}
+	a, b := fire(11), fire(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	some, all := false, true
+	for _, f := range a {
+		some = some || f
+		all = all && f
+	}
+	if !some || all {
+		t.Errorf("prob=0.5 fired on all-or-none of 64 requests: some=%v all=%v", some, all)
+	}
+}
+
+func TestMiddlewareHTTP500AndRecovery(t *testing.T) {
+	in := New(Scenario{Name: "m500", Rules: []Rule{{Kind: KindHTTP500, Count: 1}}})
+	srv := httptest.NewServer(in.Middleware(backing()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/task/map")
+	if err != nil || resp.StatusCode != 500 {
+		t.Fatalf("first call: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/task/map")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("second call: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestMiddlewareRefuseAbortsConnection(t *testing.T) {
+	in := New(Scenario{Name: "mrefuse", Rules: []Rule{{Kind: KindRefuse}}})
+	srv := httptest.NewServer(in.Middleware(backing()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/task/map")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("aborted handler still produced a response")
+	}
+}
+
+func TestMiddlewareTruncate(t *testing.T) {
+	in := New(Scenario{Name: "mtrunc", Rules: []Rule{{Kind: KindTruncate}}})
+	srv := httptest.NewServer(in.Middleware(backing()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/shuffle")
+	if err != nil {
+		// Some truncations abort before headers flush; that is also a
+		// valid mid-body cut from the caller's point of view.
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil && len(body) >= len(payload) {
+		t.Fatalf("full body (%d bytes) survived truncation", len(body))
+	}
+}
+
+func TestMiddlewareCorrupt(t *testing.T) {
+	in := New(Scenario{Name: "mcorrupt", Rules: []Rule{{Kind: KindCorrupt}}})
+	srv := httptest.NewServer(in.Middleware(backing()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/task/map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(payload) || body[0] != payload[0] {
+		t.Fatalf("corrupt reshaped reply: %d bytes, status %d", len(body), body[0])
+	}
+	if strings.Contains(string(body), "GMWR") {
+		t.Error("magic survived corruption")
+	}
+}

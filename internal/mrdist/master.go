@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"gmeansmr/internal/dfs"
 	"gmeansmr/internal/mr"
 	"gmeansmr/internal/obs"
+	"gmeansmr/internal/retry"
 )
 
 // Metric names the runner maintains in its obs.Registry. Tests and
@@ -28,7 +31,31 @@ const (
 	MetricTaskRetries     = "mrdist_task_retries_total"
 	MetricSpeculative     = "mrdist_speculative_tasks_total"
 	MetricWorkerDeaths    = "mrdist_worker_deaths_total"
+	// MetricRetryBackoffs counts backoff sleeps scheduled before requeues.
+	MetricRetryBackoffs = "mrdist_retry_backoffs_total"
+	// MetricRetryExhausted counts operations that spent their whole
+	// attempt or elapsed budget.
+	MetricRetryExhausted = "mrdist_retry_exhausted_total"
+	// MetricRetryAborts counts operations stopped by caller-side
+	// cancellation (never blamed on a worker).
+	MetricRetryAborts = "mrdist_retry_aborts_total"
+	// MetricBreakerOpens counts closed→open breaker transitions.
+	MetricBreakerOpens = "mrdist_breaker_opens_total"
+	// MetricBreakerState is the per-worker breaker gauge family; the
+	// worker id travels as a label (see breakerGaugeName). Values follow
+	// retry.BreakerState: 0 closed, 1 half-open, 2 open.
+	MetricBreakerState = "mrdist_breaker_state"
 )
+
+func breakerGaugeName(workerID int) string {
+	return fmt.Sprintf(`%s{worker="%d"}`, MetricBreakerState, workerID)
+}
+
+// ErrBackendUnavailable reports that the distributed backend cannot make
+// progress at all: workers failed to spawn, or every worker is dead. The
+// facade's fallback mode detects it with errors.Is and downgrades to the
+// local backend.
+var ErrBackendUnavailable = errors.New("mrdist: backend unavailable")
 
 // Options configures a ProcRunner. The zero value works: it self-execs the
 // current binary as the worker (which must call MaybeWorker early in main)
@@ -39,7 +66,7 @@ type Options struct {
 	// MaybeWorker splitting the roles.
 	WorkerBinary string
 	// WorkerEnv returns extra environment entries for worker i. Tests use
-	// it to inject faults (EnvTestSlowMS).
+	// it to inject faults (EnvTestSlowMS, faultinject.EnvScenario).
 	WorkerEnv func(i int) []string
 	// LogDir receives one stderr log per worker (worker-<i>.log), inside
 	// a fresh run-* subdirectory so sequential runners sharing the dir
@@ -48,11 +75,24 @@ type Options struct {
 	LogDir string
 	// Registry receives the runner's metrics; nil allocates a private one.
 	Registry *obs.Registry
-	// MaxAttempts bounds executions per task, first try included.
-	// Default 4. Only non-deterministic failures (worker death, transport)
-	// consume attempts; a deterministic task error fails the job at once,
-	// exactly as in the local backend.
+	// Retry is the uniform failure policy: per-RPC deadline, jittered
+	// backoff, elapsed budget, per-worker breaker. Zero fields take the
+	// retry package defaults. Only non-deterministic failures (worker
+	// death, transport, 5xx, corrupt frames) consume attempts; a
+	// deterministic task error fails the job at once, exactly as in the
+	// local backend.
+	Retry retry.Policy
+	// MaxAttempts is the historical name for Retry.MaxAttempts; when
+	// Retry.MaxAttempts is zero it seeds it. Default 4.
 	MaxAttempts int
+	// Seed drives backoff jitter; a fixed seed replays a schedule's
+	// delays exactly, which the chaos harness relies on. Zero is a valid
+	// (deterministic) seed.
+	Seed int64
+	// Transport, when non-nil, underlies every master-side HTTP client —
+	// the seam the fault-injection plane plugs into. Nil means the
+	// default transport.
+	Transport http.RoundTripper
 	// HeartbeatInterval is the master→worker ping period. Default 500ms.
 	HeartbeatInterval time.Duration
 	// HeartbeatMisses is how many consecutive failed pings declare a
@@ -77,9 +117,11 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
-	if o.MaxAttempts <= 0 {
-		o.MaxAttempts = 4
+	if o.Retry.MaxAttempts <= 0 && o.MaxAttempts > 0 {
+		o.Retry.MaxAttempts = o.MaxAttempts
 	}
+	o.Retry = o.Retry.WithDefaults()
+	o.MaxAttempts = o.Retry.MaxAttempts
 	if o.HeartbeatInterval <= 0 {
 		o.HeartbeatInterval = 500 * time.Millisecond
 	}
@@ -103,14 +145,21 @@ type workerHandle struct {
 	stdin io.WriteCloser
 	dead  atomic.Bool
 
+	// breaker debounces blamed failures: a worker is not declared
+	// unschedulable on one transport blip, and an open breaker re-admits
+	// a probe after cooldown instead of condemning a live process.
+	// Death itself stays with the heartbeat and process exit.
+	breaker *retry.Breaker
+
 	pushMu sync.Mutex
 	pushed map[string]int64 // replica version per path
 }
 
 // ProcRunner is the distributed mr.TaskRunner: it spawns one worker
 // process per cluster node (lazily, on the first job) and schedules map
-// and reduce tasks onto them with bounded retry around worker failure and
-// speculative re-execution of stragglers. Results are bit-identical to
+// and reduce tasks onto them under one uniform retry policy (per-RPC
+// deadlines, jittered backoff, per-worker breakers) with speculative
+// re-execution of stragglers. Results are bit-identical to
 // mr.LocalRunner: the same task code runs on input replicas, the shuffle
 // merge order is still map-task id, and exactly one completion per task
 // merges counters.
@@ -120,7 +169,11 @@ type workerHandle struct {
 // the fleet.
 type ProcRunner struct {
 	opts   Options
+	policy retry.Policy
 	client *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu         sync.Mutex
 	workers    []*workerHandle
@@ -136,11 +189,22 @@ type ProcRunner struct {
 
 // NewProcRunner returns a runner; no processes start until the first job.
 func NewProcRunner(opts Options) *ProcRunner {
+	opts = opts.withDefaults()
 	return &ProcRunner{
-		opts:   opts.withDefaults(),
-		client: &http.Client{},
+		opts:   opts,
+		policy: opts.Retry,
+		client: &http.Client{Transport: opts.Transport},
+		rng:    rand.New(rand.NewSource(opts.Seed)),
 		byAddr: make(map[string]*workerHandle),
 	}
+}
+
+// backoff draws a jittered delay for the given failure count; safe for
+// concurrent callers (wave loop and recovery share the seeded source).
+func (r *ProcRunner) backoff(failures int) time.Duration {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.policy.Backoff(failures, r.rng)
 }
 
 // Registry returns the runner's metric registry.
@@ -191,6 +255,7 @@ func (r *ProcRunner) Close() {
 }
 
 // ensureWorkers grows the fleet to n workers and starts the heartbeat.
+// A spawn failure is a backend-unavailability: the fleet never came up.
 func (r *ProcRunner) ensureWorkers(n int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -218,7 +283,7 @@ func (r *ProcRunner) ensureWorkers(n int) error {
 	for len(r.workers) < n {
 		w, err := r.spawnWorker(len(r.workers))
 		if err != nil {
-			return fmt.Errorf("mrdist: spawning worker %d: %w", len(r.workers), err)
+			return fmt.Errorf("mrdist: spawning worker %d: %v: %w", len(r.workers), err, ErrBackendUnavailable)
 		}
 		r.workers = append(r.workers, w)
 		r.byAddr[w.addr] = w
@@ -279,7 +344,14 @@ func (r *ProcRunner) spawnWorker(id int) (*workerHandle, error) {
 	}()
 	select {
 	case addr := <-addrCh:
-		return &workerHandle{id: id, addr: addr, cmd: cmd, stdin: stdin, pushed: make(map[string]int64)}, nil
+		w := &workerHandle{id: id, addr: addr, cmd: cmd, stdin: stdin, pushed: make(map[string]int64)}
+		reg := r.opts.Registry
+		stateGauge := reg.Gauge(breakerGaugeName(id))
+		stateGauge.Set(int64(retry.BreakerClosed))
+		w.breaker = retry.NewBreaker(r.policy)
+		w.breaker.OnOpen = func() { reg.Counter(MetricBreakerOpens).Inc() }
+		w.breaker.OnState = func(s retry.BreakerState) { stateGauge.Set(int64(s)) }
+		return w, nil
 	case err := <-errCh:
 		cmd.Process.Kill()
 		cmd.Wait()
@@ -311,10 +383,24 @@ func (r *ProcRunner) markDead(w *workerHandle) {
 	go w.cmd.Wait()
 }
 
+// liveCount reports how many workers are not dead (breaker state aside).
+func (r *ProcRunner) liveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers {
+		if !w.dead.Load() {
+			n++
+		}
+	}
+	return n
+}
+
 // heartbeat pings every worker; HeartbeatMisses consecutive failures mark
 // it dead. Tasks in flight on a dead worker fail their RPCs and requeue.
+// This is the authority on worker *death*; breakers only gate scheduling.
 func (r *ProcRunner) heartbeat() {
-	client := &http.Client{Timeout: r.opts.HeartbeatInterval}
+	client := &http.Client{Timeout: r.opts.HeartbeatInterval, Transport: r.opts.Transport}
 	misses := make(map[*workerHandle]int)
 	tick := time.NewTicker(r.opts.HeartbeatInterval)
 	defer tick.Stop()
@@ -385,20 +471,6 @@ func (r *ProcRunner) NewShuffle(numReducers, numMapTasks int) mr.ShuffleStore {
 	}
 }
 
-// retryableError marks a failure worth re-attempting on another worker —
-// transport trouble, a stale replica or a lost shuffle source, never a
-// deterministic task error. blameWorker reports whether the executing
-// worker itself is suspect (transport failures: yes; a stale replica or a
-// dead *peer* during shuffle pull: no — killing the executor would
-// punish a healthy worker).
-type retryableError struct {
-	err         error
-	blameWorker bool
-}
-
-func (e retryableError) Error() string { return e.err.Error() }
-func (e retryableError) Unwrap() error { return e.err }
-
 // fetchFailError reports a reduce task's failed shuffle pull from addr.
 type fetchFailError struct{ addr string }
 
@@ -406,21 +478,33 @@ func (e fetchFailError) Error() string {
 	return fmt.Sprintf("mrdist: shuffle fetch from %s failed", e.addr)
 }
 
-// postWire POSTs a GMWR body and returns the response body. Transport
-// errors are retryable; a non-200 response is a deterministic server-side
-// failure and is not.
-func postWire(c *http.Client, addr, path string, body []byte) ([]byte, error) {
-	resp, err := c.Post("http://"+addr+path, "application/x-gmwr", bytes.NewReader(body))
+// postWire POSTs a GMWR body under ctx and returns the response body.
+// Failures are pre-marked for retry.Classify: transport and body-read
+// errors and 5xx responses are transient with the peer blamed (the final
+// say on caller-side cancellation belongs to Classify against the *job*
+// context — a mark made here never turns a clean shutdown into worker
+// blame); non-5xx error statuses are deterministic and permanent.
+func postWire(ctx context.Context, c *http.Client, addr, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, retryableError{err: err, blameWorker: true}
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-gmwr")
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, retry.Transient(err, true)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, retryableError{err: err, blameWorker: true}
+		return nil, retry.Transient(err, true)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("mrdist: %s%s: HTTP %d: %s", addr, path, resp.StatusCode, bytes.TrimSpace(b))
+		herr := fmt.Errorf("mrdist: %s%s: HTTP %d: %s", addr, path, resp.StatusCode, bytes.TrimSpace(b))
+		if resp.StatusCode >= 500 {
+			return nil, retry.Transient(herr, true)
+		}
+		return nil, herr
 	}
 	return b, nil
 }
@@ -429,7 +513,7 @@ func postWire(c *http.Client, addr, path string, body []byte) ([]byte, error) {
 // replica version is already current. Replication moves bytes without
 // ticking read accounting (dfs.Contents), so the paper's cost model sees
 // the same dataset-read counts on both backends.
-func (r *ProcRunner) pushInputs(j *mr.Job, w *workerHandle) error {
+func (r *ProcRunner) pushInputs(ctx context.Context, j *mr.Job, w *workerHandle) error {
 	w.pushMu.Lock()
 	defer w.pushMu.Unlock()
 	for _, path := range j.Input {
@@ -443,14 +527,23 @@ func (r *ProcRunner) pushInputs(j *mr.Job, w *workerHandle) error {
 		}
 		u := fmt.Sprintf("http://%s/v1/fs/push?path=%s&version=%d&split=%d",
 			w.addr, url.QueryEscape(path), version, j.FS.SplitSize())
-		resp, err := r.client.Post(u, "application/octet-stream", bytes.NewReader(data))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(data))
 		if err != nil {
-			return retryableError{err: err, blameWorker: true}
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return retry.Transient(err, true)
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("mrdist: push %s to %s: HTTP %d", path, w.addr, resp.StatusCode)
+			perr := fmt.Errorf("mrdist: push %s to %s: HTTP %d", path, w.addr, resp.StatusCode)
+			if resp.StatusCode >= 500 {
+				return retry.Transient(perr, true)
+			}
+			return perr
 		}
 		w.pushed[path] = version
 	}
@@ -459,8 +552,8 @@ func (r *ProcRunner) pushInputs(j *mr.Job, w *workerHandle) error {
 
 // execMapRPC runs one map task on w and returns the task's counter deltas.
 // The output runs stay on the worker for shuffle pull.
-func (r *ProcRunner) execMapRPC(j *mr.Job, sh *procShuffle, taskID int, numReducers int, w *workerHandle) (*mr.Counters, error) {
-	if err := r.pushInputs(j, w); err != nil {
+func (r *ProcRunner) execMapRPC(ctx context.Context, j *mr.Job, sh *procShuffle, taskID int, numReducers int, w *workerHandle) (*mr.Counters, error) {
+	if err := r.pushInputs(ctx, j, w); err != nil {
 		return nil, err
 	}
 	sp := sh.splits[taskID]
@@ -470,7 +563,7 @@ func (r *ProcRunner) execMapRPC(j *mr.Job, sh *procShuffle, taskID int, numReduc
 	e.U32(uint32(taskID))
 	e.Str(sp.Path).U32(uint32(sp.Index)).I64(sp.Start).I64(sp.End)
 	e.I64(j.FS.Version(sp.Path))
-	body, err := postWire(r.client, w.addr, "/v1/task/map", e.Bytes())
+	body, err := postWire(ctx, r.client, w.addr, "/v1/task/map", e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -479,32 +572,36 @@ func (r *ProcRunner) execMapRPC(j *mr.Job, sh *procShuffle, taskID int, numReduc
 	case statusOK:
 		counters := mr.NewCounters()
 		if !d.MergeCounters(counters) {
-			return nil, d.Err()
+			// A 200 whose frame will not decode is a corrupt reply, not a
+			// deterministic failure: retry, suspecting the sender.
+			return nil, retry.Transient(fmt.Errorf("mrdist: map task %d on %s: corrupt reply: %w", taskID, w.addr, d.Err()), true)
 		}
 		return counters, nil
 	case statusStale:
 		// Raced with a replica update; invalidate our record and retry.
+		// Not the worker's fault.
 		w.pushMu.Lock()
 		delete(w.pushed, sp.Path)
 		w.pushMu.Unlock()
-		return nil, retryableError{err: fmt.Errorf("mrdist: stale replica of %s on %s", sp.Path, w.addr)}
+		return nil, retry.Transient(fmt.Errorf("mrdist: stale replica of %s on %s", sp.Path, w.addr), false)
 	case statusTaskErr:
-		return nil, decodeTaskErr(d, j.Name)
+		return nil, decodeTaskErr(d, j.Name, w.addr)
 	default:
-		return nil, fmt.Errorf("mrdist: map task %d on %s: unexpected status %d", taskID, w.addr, st)
+		return nil, retry.Transient(fmt.Errorf("mrdist: map task %d on %s: unexpected status %d", taskID, w.addr, st), true)
 	}
 }
 
 // decodeTaskErr reconstructs a deterministic task failure, restoring the
 // mr.ErrHeapSpace sentinel so errors.Is-based callers (the Fig. 2 heap
-// experiment) behave identically across backends.
-func decodeTaskErr(d *Decoder, jobName string) error {
+// experiment) behave identically across backends. A frame that will not
+// decode is a corrupt reply and retryable instead.
+func decodeTaskErr(d *Decoder, jobName, addr string) error {
 	kind := mr.TaskKind(d.Str())
 	taskID := int(d.U32())
 	heap := d.Bool()
 	msg := d.Str()
 	if err := d.Err(); err != nil {
-		return err
+		return retry.Transient(fmt.Errorf("mrdist: corrupt task-error frame from %s: %w", addr, err), true)
 	}
 	inner := error(mr.ErrHeapSpace)
 	if !heap {
@@ -515,7 +612,7 @@ func decodeTaskErr(d *Decoder, jobName string) error {
 
 // execReduceRPC runs one reduce task on w against the current map-output
 // locations and returns its output and counter deltas.
-func (r *ProcRunner) execReduceRPC(j *mr.Job, sh *procShuffle, p, numReducers int, w *workerHandle) ([]mr.KV, *mr.Counters, error) {
+func (r *ProcRunner) execReduceRPC(ctx context.Context, j *mr.Job, sh *procShuffle, p, numReducers int, w *workerHandle) ([]mr.KV, *mr.Counters, error) {
 	sh.mu.Lock()
 	locs := append([]string(nil), sh.loc...)
 	sh.mu.Unlock()
@@ -526,7 +623,7 @@ func (r *ProcRunner) execReduceRPC(j *mr.Job, sh *procShuffle, p, numReducers in
 	for _, addr := range locs {
 		e.Str(addr)
 	}
-	body, err := postWire(r.client, w.addr, "/v1/task/reduce", e.Bytes())
+	body, err := postWire(ctx, r.client, w.addr, "/v1/task/reduce", e.Bytes())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -536,19 +633,19 @@ func (r *ProcRunner) execReduceRPC(j *mr.Job, sh *procShuffle, p, numReducers in
 		out := d.KVs()
 		counters := mr.NewCounters()
 		if !d.MergeCounters(counters) {
-			return nil, nil, d.Err()
+			return nil, nil, retry.Transient(fmt.Errorf("mrdist: reduce task %d on %s: corrupt reply: %w", p, w.addr, d.Err()), true)
 		}
 		return out, counters, nil
 	case statusFetchFail:
 		addr := d.Str()
 		if err := d.Err(); err != nil {
-			return nil, nil, err
+			return nil, nil, retry.Transient(fmt.Errorf("mrdist: corrupt fetch-fail frame from %s: %w", w.addr, err), true)
 		}
 		return nil, nil, fetchFailError{addr: addr}
 	case statusTaskErr:
-		return nil, nil, decodeTaskErr(d, j.Name)
+		return nil, nil, decodeTaskErr(d, j.Name, w.addr)
 	default:
-		return nil, nil, fmt.Errorf("mrdist: reduce task %d on %s: unexpected status %d", p, w.addr, st)
+		return nil, nil, retry.Transient(fmt.Errorf("mrdist: reduce task %d on %s: unexpected status %d", p, w.addr, st), true)
 	}
 }
 
@@ -556,8 +653,10 @@ func (r *ProcRunner) execReduceRPC(j *mr.Job, sh *procShuffle, p, numReducers in
 // on dead workers, installing new locations. Counters are NOT merged — the
 // first completion of each task already was, and re-merging would break
 // the bit-identical counter pin. Serialized; re-checks under the lock so
-// concurrent reduce failures converge on one recovery.
-func (r *ProcRunner) recoverMapOutputs(j *mr.Job, sh *procShuffle, numReducers int) error {
+// concurrent reduce failures converge on one recovery. Attempts follow
+// the retry policy: jittered backoff between tries, caller aborts honored,
+// typed exhaustion.
+func (r *ProcRunner) recoverMapOutputs(ctx context.Context, j *mr.Job, sh *procShuffle, numReducers int) error {
 	r.recoveryMu.Lock()
 	defer r.recoveryMu.Unlock()
 	var lost []int
@@ -570,28 +669,84 @@ func (r *ProcRunner) recoverMapOutputs(j *mr.Job, sh *procShuffle, numReducers i
 	}
 	sh.mu.Unlock()
 	for _, t := range lost {
+		var last error
 		recovered := false
-		for attempt := 0; attempt < r.opts.MaxAttempts && !recovered; attempt++ {
+		for attempt := 1; attempt <= r.policy.MaxAttempts && !recovered; attempt++ {
+			if ctx != nil && ctx.Err() != nil {
+				r.opts.Registry.Counter(MetricRetryAborts).Inc()
+				return fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
+			}
 			w := r.pickLive(t)
 			if w == nil {
-				return fmt.Errorf("mr: job %q: no live workers to recover map output %d", j.Name, t)
+				if r.liveCount() == 0 {
+					return fmt.Errorf("mr: job %q: no live workers to recover map output %d: %w", j.Name, t, ErrBackendUnavailable)
+				}
+				// Alive but breaker-gated: wait out a cooldown slice.
+				last = fmt.Errorf("mr: job %q: no schedulable worker for map-output recovery %d", j.Name, t)
+				sleepCtx(ctx, r.backoff(attempt))
+				continue
 			}
 			r.opts.Registry.Counter(MetricTaskRetries).Inc()
-			if _, err := r.execMapRPC(j, sh, t, numReducers, w); err != nil {
-				if _, retry := err.(retryableError); retry {
-					r.markDead(w)
+			attemptCtx, cancel := perTryContext(ctx, r.policy.PerTryTimeout)
+			_, err := r.execMapRPC(attemptCtx, j, sh, t, numReducers, w)
+			cancel()
+			if err != nil {
+				last = err
+				switch retry.Classify(ctx, err) {
+				case retry.CallerAbort:
+					r.opts.Registry.Counter(MetricRetryAborts).Inc()
+					cerr := err
+					if ctx != nil && ctx.Err() != nil {
+						cerr = ctx.Err()
+					}
+					return fmt.Errorf("mr: job %q: %w", j.Name, cerr)
+				case retry.TransientBlamed:
+					w.breaker.Failure()
+					sleepCtx(ctx, r.backoff(attempt))
 					continue
+				case retry.TransientBlameless:
+					sleepCtx(ctx, r.backoff(attempt))
+					continue
+				default:
+					return err
 				}
-				return err
 			}
+			w.breaker.Success()
 			sh.setLocation(t, w.addr)
 			recovered = true
 		}
 		if !recovered {
-			return fmt.Errorf("mr: job %q: could not recover map output %d", j.Name, t)
+			r.opts.Registry.Counter(MetricRetryExhausted).Inc()
+			return retry.Exhausted(fmt.Sprintf("mr: job %q: could not recover map output %d", j.Name, t), last)
 		}
 	}
 	return nil
+}
+
+// perTryContext layers a per-attempt deadline under the caller's context.
+func perTryContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-done:
+	case <-time.After(d):
+	}
 }
 
 func (r *ProcRunner) workerAt(addr string) *workerHandle {
@@ -600,18 +755,21 @@ func (r *ProcRunner) workerAt(addr string) *workerHandle {
 	return r.byAddr[addr]
 }
 
-// pickLive returns a live worker, preferring the task's home node.
+// pickLive returns a schedulable worker, preferring the task's home node.
+// Schedulable means alive with a breaker willing to admit work; Allow is
+// checked last because a half-open breaker grants exactly one probe per
+// call and the grant must be used.
 func (r *ProcRunner) pickLive(taskID int) *workerHandle {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.workers) == 0 {
 		return nil
 	}
-	if w := r.workers[taskID%len(r.workers)]; !w.dead.Load() {
+	if w := r.workers[taskID%len(r.workers)]; !w.dead.Load() && w.breaker.Allow() {
 		return w
 	}
 	for _, w := range r.workers {
-		if !w.dead.Load() {
+		if !w.dead.Load() && w.breaker.Allow() {
 			return w
 		}
 	}
@@ -636,8 +794,8 @@ func (r *ProcRunner) RunMapPhase(ctx context.Context, j *mr.Job, splits []dfs.Sp
 	sh.splits = splits
 
 	err := r.runWave(ctx, j, "map-task", len(splits), j.Cluster.MapSlotsPerNode, j.Cluster.Nodes,
-		func(taskID int, w *workerHandle) (func(), error) {
-			taskCounters, err := r.execMapRPC(j, sh, taskID, numReducers, w)
+		func(ctx context.Context, taskID int, w *workerHandle) (func(), error) {
+			taskCounters, err := r.execMapRPC(ctx, j, sh, taskID, numReducers, w)
 			if err != nil {
 				return nil, err
 			}
@@ -651,7 +809,7 @@ func (r *ProcRunner) RunMapPhase(ctx context.Context, j *mr.Job, splits []dfs.Sp
 	}
 	// Workers may have died after completing tasks; make every winning
 	// output reachable before the reduce wave starts pulling.
-	return r.recoverMapOutputs(j, sh, numReducers)
+	return r.recoverMapOutputs(ctx, j, sh, numReducers)
 }
 
 // RunReducePhase implements mr.TaskRunner: one reduce task per partition,
@@ -664,16 +822,18 @@ func (r *ProcRunner) RunReducePhase(ctx context.Context, j *mr.Job, numReducers 
 	var outMu sync.Mutex
 
 	err := r.runWave(ctx, j, "reduce-task", numReducers, j.Cluster.ReduceSlotsPerNode, j.Cluster.Nodes,
-		func(p int, w *workerHandle) (func(), error) {
-			out, taskCounters, err := r.execReduceRPC(j, sh, p, numReducers, w)
+		func(tryCtx context.Context, p int, w *workerHandle) (func(), error) {
+			out, taskCounters, err := r.execReduceRPC(tryCtx, j, sh, p, numReducers, w)
 			if ff, ok := err.(fetchFailError); ok {
 				// The map output's host is gone: declare it dead, rebuild
 				// the lost outputs elsewhere, then retry this reduce task.
+				// Recovery runs under the job context, not this attempt's:
+				// it spans its own RPCs with their own deadlines.
 				r.markDead(r.workerAt(ff.addr))
-				if rerr := r.recoverMapOutputs(j, sh, numReducers); rerr != nil {
+				if rerr := r.recoverMapOutputs(ctx, j, sh, numReducers); rerr != nil {
 					return nil, rerr
 				}
-				return nil, retryableError{err: ff}
+				return nil, retry.Transient(ff, false)
 			}
 			if err != nil {
 				return nil, err
@@ -693,6 +853,8 @@ func (r *ProcRunner) RunReducePhase(ctx context.Context, j *mr.Job, numReducers 
 }
 
 // freeJob asks every live worker to drop the job's retained map outputs.
+// Best-effort with a short deadline per worker, so a hung worker cannot
+// stall job completion.
 func (r *ProcRunner) freeJob(jobID string) {
 	r.mu.Lock()
 	workers := append([]*workerHandle(nil), r.workers...)
@@ -701,20 +863,27 @@ func (r *ProcRunner) freeJob(jobID string) {
 		if w.dead.Load() {
 			continue
 		}
-		resp, err := r.client.Post("http://"+w.addr+"/v1/job/free?job="+jobID, "text/plain", nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+w.addr+"/v1/job/free?job="+jobID, nil)
 		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			resp, err := r.client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
 		}
+		cancel()
 	}
 }
 
-// waveEvent is one task completion (or failure) arriving at the wave loop.
+// waveEvent is one task completion (or failure) arriving at the wave
+// loop, or a backoff timer returning a task to the pending queue.
 type waveEvent struct {
-	taskID int
-	w      *workerHandle
-	apply  func()
-	err    error
+	taskID  int
+	w       *workerHandle
+	apply   func()
+	err     error
+	requeue bool // backoff elapsed: taskID goes back to pending
 }
 
 // runWave schedules n tasks over the fleet and blocks until all complete
@@ -723,14 +892,24 @@ type waveEvent struct {
 //   - slot discipline: at most slotsPerWorker tasks in flight per worker;
 //   - first-completion-wins: apply runs exactly once per task, so counters
 //     merge exactly once and outputs are installed exactly once;
-//   - bounded retry: a retryable failure requeues the task (and usually
-//     marks its worker dead) until MaxAttempts is exhausted;
+//   - per-attempt deadlines: every execution runs under the policy's
+//     PerTryTimeout layered beneath the job context, so a hung worker
+//     costs one attempt, not the wave;
+//   - bounded, paced retry: a transient failure requeues the task after a
+//     jittered backoff until the policy's attempt budget is exhausted;
+//     blamed failures feed the worker's breaker, which gates scheduling
+//     (death stays with the heartbeat);
+//   - caller aborts: job-context cancellation stops the wave without
+//     retry and without blaming whichever workers held tasks in flight;
+//   - elapsed budget: the wave fails with a typed retry.ErrExhausted
+//     error when the policy's MaxElapsed passes, so no fault scenario
+//     can hang a run;
 //   - straggler speculation: when only stragglers remain, the oldest
 //     lone-copy task older than SpeculateAfter is duplicated onto an idle
 //     worker, at most once per task;
 //   - deterministic failures (task errors) fail the wave immediately,
 //     matching the local backend.
-func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n, slotsPerWorker, nodes int, exec func(taskID int, w *workerHandle) (func(), error)) error {
+func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n, slotsPerWorker, nodes int, exec func(ctx context.Context, taskID int, w *workerHandle) (func(), error)) error {
 	if n == 0 {
 		return nil
 	}
@@ -747,12 +926,20 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 		speculated = make([]bool, n)
 		doneCount  = 0
 		inFlight   = 0
+		waiting    = 0 // tasks sitting out a backoff
 		slots      = make(map[*workerHandle]int)
+		timers     []*time.Timer
+		waveStart  = time.Now()
 	)
-	// Buffered to the dispatch ceiling so no worker goroutine can ever
-	// block sending its event — even events arriving after an early error
-	// return just land in the buffer and get collected.
-	events := make(chan waveEvent, n*(r.opts.MaxAttempts+1)+16)
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
+	// Buffered to the dispatch ceiling (completions plus requeues) so no
+	// goroutine or timer can ever block sending its event — even events
+	// arriving after an early error return just land in the buffer.
+	events := make(chan waveEvent, n*(2*r.policy.MaxAttempts+3)+16)
 
 	launch := func(taskID int, w *workerHandle) {
 		if running[taskID] == 0 {
@@ -768,15 +955,19 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 				SetTID(int64(taskID)).
 				SetArg("worker", w.id).
 				SetArg("attempt", attempt)
-			apply, err := exec(taskID, w)
+			tryCtx, cancel := perTryContext(ctx, r.policy.PerTryTimeout)
+			apply, err := exec(tryCtx, taskID, w)
+			cancel()
 			span.End()
 			events <- waveEvent{taskID: taskID, w: w, apply: apply, err: err}
 		}()
 	}
 
 	// pickWorker prefers the task's home node (taskID mod nodes, the same
-	// placement rule TaskContext.NodeID encodes), then any live worker
-	// with a free slot.
+	// placement rule TaskContext.NodeID encodes), then any schedulable
+	// worker with a free slot. Breaker Allow is evaluated last: a
+	// half-open breaker admits exactly one probe, and a granted probe is
+	// always dispatched.
 	pickWorker := func(taskID int) *workerHandle {
 		r.mu.Lock()
 		defer r.mu.Unlock()
@@ -787,11 +978,11 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 		if len(fleet) == 0 {
 			return nil
 		}
-		if w := fleet[taskID%len(fleet)]; !w.dead.Load() && slots[w] < slotsPerWorker {
+		if w := fleet[taskID%len(fleet)]; !w.dead.Load() && slots[w] < slotsPerWorker && w.breaker.Allow() {
 			return w
 		}
 		for _, w := range fleet {
-			if !w.dead.Load() && slots[w] < slotsPerWorker {
+			if !w.dead.Load() && slots[w] < slotsPerWorker && w.breaker.Allow() {
 				return w
 			}
 		}
@@ -803,6 +994,13 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 
 	var firstErr error
 	for doneCount < n && firstErr == nil {
+		// The wave's own elapsed budget: chaos scenarios must end in a
+		// typed error, never a hang.
+		if r.policy.MaxElapsed > 0 && time.Since(waveStart) > r.policy.MaxElapsed {
+			reg.Counter(MetricRetryExhausted).Inc()
+			firstErr = retry.Exhausted(fmt.Sprintf("mr: job %q: wave exceeded elapsed budget %v", j.Name, r.policy.MaxElapsed), nil)
+			break
+		}
 		// Fill free slots from the pending queue.
 		for len(pending) > 0 {
 			w := pickWorker(pending[0])
@@ -813,14 +1011,20 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 			pending = pending[1:]
 			launch(t, w)
 		}
-		if inFlight == 0 {
-			if len(pending) > 0 {
-				firstErr = fmt.Errorf("mr: job %q: all workers dead with %d tasks unfinished", j.Name, len(pending))
+		if inFlight == 0 && waiting == 0 {
+			if len(pending) == 0 {
+				break
 			}
-			break
+			if r.liveCount() == 0 {
+				firstErr = fmt.Errorf("mr: job %q: all workers dead with %d tasks unfinished: %w", j.Name, len(pending), ErrBackendUnavailable)
+				break
+			}
+			// Workers alive but breaker-gated: wait for a cooldown to
+			// re-admit a probe (the ticker below wakes us).
 		}
 		select {
 		case <-ctx.Done():
+			reg.Counter(MetricRetryAborts).Inc()
 			firstErr = fmt.Errorf("mr: job %q: %w", j.Name, ctx.Err())
 		case <-spec.C:
 			if r.opts.SpeculateAfter <= 0 || len(pending) > 0 {
@@ -843,6 +1047,13 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 				}
 			}
 		case ev := <-events:
+			if ev.requeue {
+				waiting--
+				if !done[ev.taskID] {
+					pending = append(pending, ev.taskID)
+				}
+				break
+			}
 			inFlight--
 			slots[ev.w]--
 			running[ev.taskID]--
@@ -851,28 +1062,49 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 				done[ev.taskID] = true
 				doneCount++
 				reg.Counter(MetricTasksCompleted).Inc()
+				ev.w.breaker.Success()
 				ev.apply()
 			case ev.err == nil || done[ev.taskID]:
 				// Speculative loser (either outcome): drop silently.
+				if ev.err == nil {
+					ev.w.breaker.Success()
+				}
 			default:
-				re, retry := ev.err.(retryableError)
-				if !retry {
+				class := retry.Classify(ctx, ev.err)
+				switch class {
+				case retry.CallerAbort:
+					reg.Counter(MetricRetryAborts).Inc()
+					cerr := ctx.Err()
+					if cerr == nil {
+						cerr = ev.err
+					}
+					firstErr = fmt.Errorf("mr: job %q: %w", j.Name, cerr)
+				case retry.Permanent:
 					firstErr = ev.err
-					break
-				}
-				if re.blameWorker {
-					// A transport failure usually means the worker died.
-					// Heartbeats would catch it too; this is faster.
-					r.markDead(ev.w)
-				}
-				attempts[ev.taskID]++
-				if attempts[ev.taskID] >= r.opts.MaxAttempts {
-					firstErr = fmt.Errorf("mr: job %q: task %d failed %d attempts: %w", j.Name, ev.taskID, attempts[ev.taskID], ev.err)
-					break
-				}
-				if running[ev.taskID] == 0 {
-					reg.Counter(MetricTaskRetries).Inc()
-					pending = append(pending, ev.taskID)
+				case retry.TransientBlamed, retry.TransientBlameless:
+					if class == retry.TransientBlamed {
+						ev.w.breaker.Failure()
+					}
+					attempts[ev.taskID]++
+					if attempts[ev.taskID] >= r.policy.MaxAttempts {
+						reg.Counter(MetricRetryExhausted).Inc()
+						firstErr = retry.Exhausted(fmt.Sprintf("mr: job %q: task %d failed %d attempts", j.Name, ev.taskID, attempts[ev.taskID]), ev.err)
+						break
+					}
+					if running[ev.taskID] == 0 {
+						reg.Counter(MetricTaskRetries).Inc()
+						delay := r.backoff(attempts[ev.taskID])
+						if delay <= 0 {
+							pending = append(pending, ev.taskID)
+						} else {
+							reg.Counter(MetricRetryBackoffs).Inc()
+							waiting++
+							tid := ev.taskID
+							timers = append(timers, time.AfterFunc(delay, func() {
+								events <- waveEvent{taskID: tid, requeue: true}
+							}))
+						}
+					}
 				}
 			}
 		}
@@ -880,9 +1112,12 @@ func (r *ProcRunner) runWave(ctx context.Context, j *mr.Job, spanName string, n,
 	// Drain in-flight tasks so no goroutine outlives the wave — the same
 	// guarantee the local runner's WaitGroup gives. Their results are
 	// discarded (the wave already failed, or they are speculative losers
-	// whose winner already applied).
+	// whose winner already applied); requeue timer events are ignored.
 	for inFlight > 0 {
 		ev := <-events
+		if ev.requeue {
+			continue
+		}
 		inFlight--
 		if firstErr == nil && ev.err == nil && !done[ev.taskID] {
 			done[ev.taskID] = true

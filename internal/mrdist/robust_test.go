@@ -1,0 +1,113 @@
+package mrdist_test
+
+import (
+	"net/http"
+	"runtime"
+	"syscall"
+	"testing"
+	"time"
+
+	"gmeansmr/internal/mr"
+	"gmeansmr/internal/mrdist"
+)
+
+// checkNoGoroutineLeak waits for the runner's goroutines (heartbeat,
+// worker stdout/stderr scanners, backoff timers, idle HTTP connections)
+// to drain back to the pre-runner baseline, mirroring the facade's
+// cancellation leak checks.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestProcJobFreeNoGoroutineLeak runs a job to completion, frees it via
+// Close, and checks every fleet goroutine exits.
+func TestProcJobFreeNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	runner := mrdist.NewProcRunner(mrdist.Options{})
+	fs, want := numbersFS(1000, 1<<10)
+	res, err := sumJob(fs, testCluster(2, 2, 2), runner, sumPayload{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSums(t, res, want)
+	runner.Close()
+
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestProcWorkerDeathRecoveryNoGoroutineLeak kills a worker mid-wave —
+// driving the heartbeat death path and map-output recovery — then checks
+// the recovered run still drains every goroutine on Close.
+func TestProcWorkerDeathRecoveryNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	runner := mrdist.NewProcRunner(mrdist.Options{})
+	fs, want := numbersFS(1200, 1<<10)
+	job := sumJob(fs, testCluster(3, 1, 1), runner, sumPayload{sleepMS: 100})
+
+	type outcome struct {
+		res *mr.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := job.Run()
+		done <- outcome{res, err}
+	}()
+
+	// Kill the last worker once it plausibly holds completed map output.
+	completed := runner.Registry().Counter(mrdist.MetricTasksCompleted)
+	killDeadline := time.After(20 * time.Second)
+	killed := false
+poll:
+	for !killed {
+		select {
+		case o := <-done:
+			t.Fatalf("job finished before a worker could be killed (err=%v)", o.err)
+		case <-killDeadline:
+			break poll
+		case <-time.After(5 * time.Millisecond):
+			pids := runner.WorkerPIDs()
+			if completed.Value() >= 1 && len(pids) == 3 {
+				if err := syscall.Kill(pids[len(pids)-1], syscall.SIGKILL); err != nil {
+					t.Fatalf("kill worker: %v", err)
+				}
+				killed = true
+			}
+		}
+	}
+	if !killed {
+		t.Fatal("never reached a killable point in the map wave")
+	}
+
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("job failed after worker death: %v", o.err)
+		}
+		checkSums(t, o.res, want)
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not complete after worker death")
+	}
+	runner.Close()
+
+	checkNoGoroutineLeak(t, before)
+}

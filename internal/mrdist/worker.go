@@ -1,6 +1,7 @@
 package mrdist
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"gmeansmr/internal/dfs"
+	"gmeansmr/internal/faultinject"
 	"gmeansmr/internal/mr"
 )
 
@@ -104,8 +106,15 @@ func MaybeWorker() {
 }
 
 // RunWorker runs the worker loop in this process: listen on a loopback
-// port, announce it on stdout, serve until stdin reaches EOF.
+// port, announce it on stdout, serve until stdin reaches EOF. When the
+// master scripted a fault scenario into the environment
+// (faultinject.EnvScenario), the worker's mux is wrapped in its
+// middleware; otherwise the surface is served bare.
 func RunWorker() error {
+	inj, err := faultinject.FromEnv()
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -113,7 +122,7 @@ func RunWorker() error {
 	w := NewWorker()
 	w.addr = ln.Addr().String()
 	fmt.Printf("%s%s\n", readyPrefix, w.addr)
-	srv := &http.Server{Handler: w.Handler()}
+	srv := &http.Server{Handler: inj.Middleware(w.Handler())}
 	go func() {
 		// The master holds our stdin open for our whole life; EOF (or any
 		// read error) means it is gone or told us to stop.
@@ -308,9 +317,12 @@ func (w *Worker) handleShuffle(rw http.ResponseWriter, req *http.Request) {
 	d := NewDecoder(body)
 	jobID := d.Str()
 	p := int(d.U32())
+	// The count is attacker-sized until proven otherwise: cap the
+	// preallocation and stop looping the moment the decoder goes sticky,
+	// so a corrupt frame cannot buy gigabytes or billions of iterations.
 	n := int(d.U32())
-	ids := make([]int, 0, n)
-	for i := 0; i < n; i++ {
+	ids := make([]int, 0, min(n, 1<<16))
+	for i := 0; i < n && d.Err() == nil; i++ {
 		ids = append(ids, int(d.U32()))
 	}
 	if err := d.Err(); err != nil {
@@ -349,9 +361,11 @@ func (w *Worker) handleReduce(rw http.ResponseWriter, req *http.Request) {
 	d := NewDecoder(body)
 	tr := decodeTaskRequest(d)
 	p := int(d.U32())
+	// Same bounded-decode discipline as handleShuffle: a corrupt count
+	// must not drive the preallocation or the loop.
 	numMapTasks := int(d.U32())
-	locs := make([]string, 0, numMapTasks)
-	for i := 0; i < numMapTasks; i++ {
+	locs := make([]string, 0, min(numMapTasks, 1<<16))
+	for i := 0; i < numMapTasks && d.Err() == nil; i++ {
 		locs = append(locs, d.Str())
 	}
 	if err := d.Err(); err != nil {
@@ -395,7 +409,7 @@ func (w *Worker) handleReduce(rw http.ResponseWriter, req *http.Request) {
 			}
 			continue
 		}
-		got, err := w.fetchShuffle(addr, tr.jobID, p, ids)
+		got, err := w.fetchShuffle(req.Context(), addr, tr.jobID, p, ids)
 		if err != nil {
 			e.U8(statusFetchFail).Str(addr)
 			rw.Write(e.Bytes())
@@ -428,14 +442,15 @@ func (w *Worker) handleReduce(rw http.ResponseWriter, req *http.Request) {
 }
 
 // fetchShuffle pulls the runs of partition p for the given map tasks from
-// a peer worker.
-func (w *Worker) fetchShuffle(addr, jobID string, p int, ids []int) ([][]mr.KV, error) {
+// a peer worker, under the reduce request's context so an abandoned
+// reduce task does not keep pulling.
+func (w *Worker) fetchShuffle(ctx context.Context, addr, jobID string, p int, ids []int) ([][]mr.KV, error) {
 	var e Encoder
 	e.Begin().Str(jobID).U32(uint32(p)).U32(uint32(len(ids)))
 	for _, t := range ids {
 		e.U32(uint32(t))
 	}
-	body, err := postWire(w.client, addr, "/v1/shuffle", e.Bytes())
+	body, err := postWire(ctx, w.client, addr, "/v1/shuffle", e.Bytes())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,154 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states, in metric-gauge encoding (mrdist_breaker_state):
+// 0 = closed (healthy), 1 = half-open (probing), 2 = open (rejecting).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+// String names the state for logs and tests.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is a per-peer circuit breaker: Threshold consecutive blamed
+// failures open it, an open breaker rejects the peer for Cooldown, then
+// admits a single half-open probe whose outcome re-closes or re-opens
+// it. The master consults Allow before dispatching to a worker and feeds
+// Success/Failure from every classified RPC outcome, so a misbehaving
+// worker stops receiving tasks *before* it burns the whole retry budget
+// of every task that lands on it.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int
+	openedAt  time.Time
+	probing   bool
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+
+	// OnOpen, when non-nil, fires once per closed→open transition (under
+	// the breaker lock; keep it cheap — metric ticks only).
+	OnOpen func()
+	// OnState, when non-nil, fires on every state change with the new
+	// state (under the lock).
+	OnState func(BreakerState)
+}
+
+// NewBreaker builds a breaker from the policy's threshold and cooldown.
+func NewBreaker(p Policy) *Breaker {
+	p = p.WithDefaults()
+	return &Breaker{
+		threshold: p.BreakerThreshold,
+		cooldown:  p.BreakerCooldown,
+		now:       time.Now,
+	}
+}
+
+// Allow reports whether the peer may receive work now. An open breaker
+// past its cooldown moves to half-open and admits exactly one probe;
+// further Allow calls reject until that probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a healthy response, closing the breaker.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.setState(BreakerClosed)
+	}
+}
+
+// Failure records a blamed failure. Threshold consecutive failures — or
+// any failure while half-open — open the breaker.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		b.open()
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.threshold {
+		b.open()
+	}
+}
+
+// open transitions to BreakerOpen (caller holds the lock).
+func (b *Breaker) open() {
+	wasOpen := b.state == BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.setState(BreakerOpen)
+	if !wasOpen && b.OnOpen != nil {
+		b.OnOpen()
+	}
+}
+
+// setState updates state and fires OnState (caller holds the lock).
+func (b *Breaker) setState(s BreakerState) {
+	b.state = s
+	if b.OnState != nil {
+		b.OnState(s)
+	}
+}
+
+// State returns the current state without advancing cooldowns.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,272 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffFullJitter(t *testing.T) {
+	p := Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}.WithDefaults()
+	rng := rand.New(rand.NewSource(1))
+	ceilings := []time.Duration{
+		10 * time.Millisecond, // failures=1
+		20 * time.Millisecond, // 2
+		40 * time.Millisecond, // 3
+		80 * time.Millisecond, // 4
+		80 * time.Millisecond, // 5: capped
+		80 * time.Millisecond, // 6: capped
+	}
+	for i, ceil := range ceilings {
+		for trial := 0; trial < 200; trial++ {
+			d := p.Backoff(i+1, rng)
+			if d < 0 || d > ceil {
+				t.Fatalf("Backoff(failures=%d) = %v outside [0, %v]", i+1, d, ceil)
+			}
+		}
+	}
+	// failures < 1 clamps rather than panicking.
+	if d := p.Backoff(0, rng); d < 0 || d > 10*time.Millisecond {
+		t.Errorf("Backoff(0) = %v", d)
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 1; i < 10; i++ {
+		if da, db := p.Backoff(i, a), p.Backoff(i, b); da != db {
+			t.Fatalf("same seed diverged at failure %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	bg := context.Background()
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want Class
+	}{
+		{"plain error", bg, errors.New("boom"), Permanent},
+		{"transient blamed", bg, Transient(errors.New("conn refused"), true), TransientBlamed},
+		{"transient blameless", bg, Transient(errors.New("stale"), false), TransientBlameless},
+		{"wrapped transient", bg, fmt.Errorf("rpc: %w", Transient(errors.New("x"), true)), TransientBlamed},
+		{"per-try deadline", bg, context.DeadlineExceeded, TransientBlamed},
+		{"per-try deadline wrapped", bg, fmt.Errorf("Post: %w", context.DeadlineExceeded), TransientBlamed},
+		{"caller cancelled beats blame", cancelled, Transient(errors.New("x"), true), CallerAbort},
+		{"caller cancelled beats permanent", cancelled, errors.New("boom"), CallerAbort},
+		{"explicit abort", bg, Abort(context.Canceled), CallerAbort},
+		{"nil ctx", nil, Transient(errors.New("x"), false), TransientBlameless},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.ctx, tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAbortErrorIsChain(t *testing.T) {
+	err := Abort(fmt.Errorf("job: %w", context.Canceled))
+	if !errors.Is(err, ErrAborted) {
+		t.Error("abort does not match ErrAborted")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("abort lost the underlying context error")
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	calls := 0
+	err := p.Do(context.Background(), rng, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"), true)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	calls := 0
+	last := errors.New("still down")
+	err := p.Do(context.Background(), rng, func(ctx context.Context) error {
+		calls++
+		return Transient(last, true)
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Errorf("err = %v, want ErrExhausted", err)
+	}
+	if !errors.Is(err, last) {
+		t.Errorf("exhausted error lost the last failure: %v", err)
+	}
+}
+
+func TestDoPermanentFailsImmediately(t *testing.T) {
+	p := Policy{MaxAttempts: 5}
+	rng := rand.New(rand.NewSource(3))
+	calls := 0
+	boom := errors.New("deterministic")
+	err := p.Do(context.Background(), rng, func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	if calls != 1 || !errors.Is(err, boom) {
+		t.Fatalf("permanent: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestDoCallerAbort(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseBackoff: time.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := p.Do(ctx, rng, func(context.Context) error {
+		calls++
+		cancel()
+		return Transient(errors.New("x"), true)
+	})
+	if calls != 1 {
+		t.Errorf("calls after caller abort = %d, want 1", calls)
+	}
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want ErrAborted wrapping context.Canceled", err)
+	}
+	if errors.Is(err, ErrExhausted) {
+		t.Error("caller abort must not read as exhaustion")
+	}
+}
+
+func TestDoElapsedBudget(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 1000,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		MaxElapsed:  time.Nanosecond, // any backoff blows the budget
+	}
+	rng := rand.New(rand.NewSource(9))
+	err := p.Do(context.Background(), rng, func(context.Context) error {
+		return Transient(errors.New("x"), false)
+	})
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted via elapsed budget", err)
+	}
+}
+
+func TestDoPerTryTimeout(t *testing.T) {
+	p := Policy{MaxAttempts: 2, PerTryTimeout: 5 * time.Millisecond, BaseBackoff: time.Millisecond}
+	rng := rand.New(rand.NewSource(9))
+	calls := 0
+	err := p.Do(context.Background(), rng, func(ctx context.Context) error {
+		calls++
+		<-ctx.Done() // simulate a hung peer: blocked until per-try deadline
+		return ctx.Err()
+	})
+	if calls != 2 {
+		t.Errorf("hung op attempted %d times, want 2", calls)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Errorf("err = %v, want ErrExhausted (per-try timeouts are transient)", err)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(Policy{BreakerThreshold: 3, BreakerCooldown: time.Second})
+	b.now = func() time.Time { return now }
+
+	opened := 0
+	b.OnOpen = func() { opened++ }
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened before threshold")
+	}
+	b.Failure() // third consecutive: opens
+	if b.State() != BreakerOpen || opened != 1 {
+		t.Fatalf("state=%v opened=%d after threshold", b.State(), opened)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed work inside cooldown")
+	}
+
+	// Cooldown elapses: one half-open probe, and only one.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not admit a probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admit = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: re-open, new cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || opened != 2 {
+		t.Fatalf("failed probe: state=%v opened=%d", b.State(), opened)
+	}
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected work")
+	}
+
+	// Success resets the consecutive-failure count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Error("nil breaker rejected work")
+	}
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Error("nil breaker state not closed")
+	}
+}
+
+func TestExhaustedHelper(t *testing.T) {
+	inner := errors.New("last failure")
+	err := Exhausted("task 3 failed 4 attempts", inner)
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, inner) {
+		t.Fatalf("Exhausted chain broken: %v", err)
+	}
+}
