@@ -21,6 +21,12 @@
 //
 //	curl -XPOST localhost:8080/v1/model/reload
 //	curl -XPOST localhost:8080/v1/assign -d '{"point":[1.5,2.5]}'
+//
+// Under high concurrent singleton load, -coalesce 200us gathers the
+// /v1/assign requests that arrive within each window into one columnar
+// kernel pass (see the serving notes in ARCHITECTURE.md):
+//
+//	serve -model model.gmm -coalesce 200us
 package main
 
 import (
@@ -56,6 +62,8 @@ func main() {
 		savePath  = flag.String("save", "", "write the trained model snapshot here")
 		timeout   = flag.Duration("timeout", 0, "abort training after this long (0 = no limit)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. :6060)")
+		coalesce  = flag.Duration("coalesce", 0, "coalesce concurrent /v1/assign requests into micro-batches over this window (e.g. 200us; 0 = off)")
+		coalMax   = flag.Int("coalesce-max", 0, "points per coalesced micro-batch before it flushes early (0 = default)")
 	)
 	flag.Parse()
 
@@ -67,7 +75,13 @@ func main() {
 	log.Printf("model ready: k=%d dim=%d (algorithm=%q iterations=%d)",
 		m.K, m.Dim, m.Meta.Algorithm, m.Meta.Iterations)
 
-	opts := gmeansmr.ServerOptions{}
+	opts := gmeansmr.ServerOptions{
+		CoalesceWindow:   *coalesce,
+		CoalesceMaxBatch: *coalMax,
+	}
+	if *coalesce > 0 {
+		log.Printf("coalescing /v1/assign over %v windows", *coalesce)
+	}
 	if reloadPath != "" {
 		opts.Loader = func() (*gmeansmr.Model, error) { return loadSnapshot(reloadPath) }
 		log.Printf("hot reload enabled from %s (POST /v1/model/reload)", reloadPath)

@@ -33,6 +33,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"gmeansmr/internal/vec"
 )
@@ -105,6 +106,26 @@ type Model struct {
 	Radii []float64
 	// Meta is the training provenance.
 	Meta Meta
+
+	// pack caches the kernel-ready packed form of Centers (see Pack).
+	// Derived state only — never serialized, dropped by Clone.
+	pack atomic.Pointer[vec.CenterPack]
+}
+
+// Pack returns the model's centers in kernel-ready packed form
+// (vec.CenterPack), deriving it on first call and caching it on the
+// model. Because a model handed to the serving layer is immutable, the
+// cached pack stays valid for the model's lifetime; a hot swap that
+// installs a new model publishes that model's own pack with it, so the
+// query path never packs centers per request. Safe for concurrent use
+// (a first-call race packs twice and keeps one — both copies are
+// bit-identical by construction).
+func (m *Model) Pack() *vec.CenterPack {
+	if p := m.pack.Load(); p != nil {
+		return p
+	}
+	m.pack.CompareAndSwap(nil, vec.PackCenters(m.Centers))
+	return m.pack.Load()
 }
 
 // header is the JSON-encoded self-describing part of the wire format.

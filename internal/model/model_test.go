@@ -272,3 +272,26 @@ func TestClone(t *testing.T) {
 		t.Fatal("clone shares storage with original")
 	}
 }
+
+// TestPack: the kernel-ready pack is derived once, cached on the model,
+// answers exactly like the raw centers, and is never shared with a clone
+// (whose centers are distinct storage).
+func TestPack(t *testing.T) {
+	m := sampleModel()
+	p := m.Pack()
+	if p == nil || m.Pack() != p {
+		t.Fatal("Pack is not cached on the model")
+	}
+	if p.K() != m.K || p.Dim() != m.Dim {
+		t.Fatalf("pack shape k=%d dim=%d, model k=%d dim=%d", p.K(), p.Dim(), m.K, m.Dim)
+	}
+	q := vec.Vector{0.1, 0.2}
+	wi, wd := vec.NearestIndex(q, m.Centers)
+	if gi, gd := p.Nearest(q); gi != wi || gd != wd {
+		t.Fatalf("pack answers (%d, %v), centers answer (%d, %v)", gi, gd, wi, wd)
+	}
+	c := m.Clone()
+	if c.Pack() == p {
+		t.Fatal("clone shares the original's pack")
+	}
+}

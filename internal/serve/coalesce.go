@@ -1,0 +1,203 @@
+package serve
+
+// Server-side micro-batching of singleton assign requests.
+//
+// The columnar kernel earns its throughput by amortizing center streaming
+// over many points; a singleton query gives it nothing to amortize. Under
+// concurrent load, though, the server holds many singleton queries at
+// once — they just arrived on different connections. The coalescer turns
+// that accidental concurrency into kernel batches: a singleton that
+// arrives while others are in flight parks in the currently-open group,
+// and one fused NearestBatch call answers the whole group.
+//
+// The latency/throughput trade, explicitly:
+//
+//   - A coalesced request waits at most the window (default 150µs,
+//     Options.CoalesceWindow, the paper-space 100–250µs budget) for
+//     companions — that bound is added to its latency floor.
+//   - In exchange, k·dim center-streaming work is paid once per group
+//     instead of once per request, so peak throughput approaches the
+//     batch kernel's points/sec instead of the scalar path's.
+//   - When the server is idle the trade would be all loss, so the first
+//     singleton in flight always takes the direct path (no window, no
+//     group) — an idle server serves singletons at scalar latency, and
+//     the window only ever delays requests that had company.
+//
+// A full group (CoalesceMaxBatch, default one SIMD tile) flushes
+// immediately without waiting out the window.
+//
+// Correctness properties, pinned by tests:
+//
+//   - One group = one model snapshot: the leader loads the assigner once
+//     and every member is answered by it, bit-identical to the direct
+//     path on the same model (TestServePathEquivalence).
+//   - Members are independent: a NaN point or a dim mismatch (possible
+//     when a hot swap changes Dim between the handler's validation and
+//     the group's kernel call) fails that member alone with a typed
+//     error; its neighbors still get answers. Nothing is dropped or
+//     misrouted under concurrent reload (TestAssignUnderReloadSoak).
+//   - The group's done channel closes even if the kernel panics, so no
+//     member can hang on a poisoned group.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gmeansmr/internal/vec"
+)
+
+// DefaultCoalesceWindow is the micro-batching latency budget used by
+// cmd/serve's -coalesce flag when given without a duration.
+const DefaultCoalesceWindow = 150 * time.Microsecond
+
+// DefaultCoalesceMaxBatch caps one coalesced group: one SIMD tile of the
+// batch kernel, past which a bigger group buys no further amortization
+// on the measured machine.
+const DefaultCoalesceMaxBatch = 256
+
+type coalescer struct {
+	s      *Server
+	window time.Duration
+	max    int
+
+	inflight atomic.Int64 // singleton requests currently inside assign()
+
+	mu  sync.Mutex
+	cur *group // open group accepting members, nil when none
+}
+
+// group is one micro-batch being assembled and answered.
+type group struct {
+	points []vec.Vector
+	full   chan struct{} // closed when the group reaches max members
+	done   chan struct{} // closed when a/asgs/errs are published
+	a      *assigner     // the snapshot that answered the group
+	asgs   []Assignment
+	errs   []error
+}
+
+func newCoalescer(s *Server, window time.Duration, maxBatch int) *coalescer {
+	if maxBatch <= 0 {
+		maxBatch = DefaultCoalesceMaxBatch
+	}
+	return &coalescer{s: s, window: window, max: maxBatch}
+}
+
+// assign answers one singleton query, micro-batching it with concurrent
+// singletons when there are any. It returns the assigner snapshot that
+// produced the answer, so the caller's response (cluster + center +
+// distance) is consistent even when the group was answered by a newer
+// model than the caller's handler loaded. p must already be validated
+// against the caller's model; a swap racing this call is handled by the
+// group's own re-validation.
+func (c *coalescer) assign(p vec.Vector) (Assignment, *assigner, error) {
+	n := c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	if n <= 1 {
+		// Idle server: nobody to coalesce with, don't pay the window.
+		a := c.s.active.Load()
+		asg, err := a.assign(p)
+		return asg, a, err
+	}
+
+	c.mu.Lock()
+	if g := c.cur; g != nil {
+		// Join the open group.
+		pos := len(g.points)
+		g.points = append(g.points, p)
+		if len(g.points) == c.max {
+			// Group full: detach it so later arrivals open a fresh one,
+			// and release the leader early.
+			c.cur = nil
+			close(g.full)
+		}
+		c.mu.Unlock()
+		<-g.done
+		return g.asgs[pos], g.a, g.errs[pos]
+	}
+	// Open a group and lead it.
+	g := &group{full: make(chan struct{}), done: make(chan struct{})}
+	g.points = append(g.points, p)
+	c.cur = g
+	c.mu.Unlock()
+
+	timer := time.NewTimer(c.window)
+	select {
+	case <-timer.C:
+	case <-g.full:
+		timer.Stop()
+	}
+	c.mu.Lock()
+	if c.cur == g {
+		c.cur = nil
+	}
+	points := g.points // no appends can land after the detach above
+	c.mu.Unlock()
+
+	c.flush(g, points)
+	return g.asgs[0], g.a, g.errs[0]
+}
+
+// flush answers a detached group with one kernel call on one model
+// snapshot and publishes the per-member results.
+func (c *coalescer) flush(g *group, points []vec.Vector) {
+	// Close done even on a kernel panic: members must never hang.
+	defer close(g.done)
+	g.asgs = make([]Assignment, len(points))
+	g.errs = make([]error, len(points))
+	c.s.coalBatches.Inc()
+	c.s.coalesced.Add(int64(len(points)))
+
+	a := c.s.active.Load()
+	g.a = a
+	// Re-validate dimensions against the snapshot answering the group: a
+	// hot swap may have changed Dim since a member's handler validated.
+	// Mismatched members fail individually; the rest still batch.
+	valid := points
+	mixed := false
+	for _, p := range points {
+		if len(p) != a.m.Dim {
+			mixed = true
+			break
+		}
+	}
+	if mixed {
+		valid = make([]vec.Vector, 0, len(points))
+		for _, p := range points {
+			if len(p) == a.m.Dim {
+				valid = append(valid, p)
+			}
+		}
+	}
+	out := make([]Assignment, len(valid))
+	if len(valid) > 0 {
+		a.assignInto(valid, out)
+	}
+	vi := 0
+	for i, p := range points {
+		if len(p) != a.m.Dim {
+			g.errs[i] = errSwapDimMismatch
+			continue
+		}
+		asg := out[vi]
+		vi++
+		if asg.Cluster < 0 {
+			g.errs[i] = errNumericRange
+			continue
+		}
+		g.asgs[i] = asg
+	}
+}
+
+// errSwapDimMismatch marks a coalesced member whose dimensionality no
+// longer matches the model that answered its group (a hot swap landed
+// between validation and the kernel call). The member fails typed; it is
+// never silently assigned by the wrong geometry.
+var errSwapDimMismatch = &dimSwapError{}
+
+type dimSwapError struct{}
+
+func (*dimSwapError) Error() string {
+	return "serve: model dimensionality changed while the request was queued; retry"
+}

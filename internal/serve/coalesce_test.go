@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"gmeansmr/internal/vec"
+)
+
+// coalesceCounters reads the two coalescing metrics.
+func coalesceCounters(s *Server) (requests, batches int64) {
+	return s.Metrics().Counter("serve_coalesced_requests_total").Value(),
+		s.Metrics().Counter("serve_coalesced_batches_total").Value()
+}
+
+// holdInflight parks a phantom in-flight singleton on the coalescer so
+// every call during the test coalesces instead of taking the idle
+// direct path. Engagement normally depends on real request overlap,
+// which a 1-CPU scheduler may never produce for sub-microsecond
+// requests; pinning the inflight count makes group formation
+// deterministic on any GOMAXPROCS.
+func holdInflight(t *testing.T, s *Server) {
+	t.Helper()
+	s.coal.inflight.Add(1)
+	t.Cleanup(func() { s.coal.inflight.Add(-1) })
+}
+
+// TestCoalescerGroupsConcurrentSingles drives concurrent singleton
+// queries through a coalescing server and asserts (a) every answer is
+// bit-identical to the scalar reference and (b) the counters show real
+// grouping: strictly fewer kernel batches than requests.
+func TestCoalescerGroupsConcurrentSingles(t *testing.T) {
+	m := randomModel(t, 32, 8, 5)
+	s := newServer(t, m, Options{CoalesceWindow: 2 * time.Millisecond})
+	holdInflight(t, s)
+	queries := randomQueries(128, 8, 11)
+
+	var wg sync.WaitGroup
+	got := make([]Assignment, len(queries))
+	errs := make([]error, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q vec.Vector) {
+			defer wg.Done()
+			got[i], errs[i] = s.Assign(q)
+		}(i, q)
+	}
+	wg.Wait()
+
+	for i, q := range queries {
+		if errs[i] != nil {
+			t.Fatalf("Assign(%d): %v", i, errs[i])
+		}
+		wi, wd := vec.NearestIndex(q, m.Centers)
+		want := Assignment{Cluster: wi, Distance: math.Sqrt(wd)}
+		if got[i] != want {
+			t.Fatalf("Assign(%d) = %+v, want %+v", i, got[i], want)
+		}
+	}
+
+	requests, batches := coalesceCounters(s)
+	if requests != int64(len(queries)) {
+		t.Fatalf("coalesced %d of %d requests", requests, len(queries))
+	}
+	if batches == 0 || batches >= requests {
+		t.Fatalf("coalesced %d requests into %d batches; want real grouping", requests, batches)
+	}
+	t.Logf("coalesced %d requests into %d batches", requests, batches)
+}
+
+// TestCoalescerIdleDirectPath asserts a lone singleton never pays the
+// window: with an absurdly long window, sequential requests must still
+// answer instantly (and the coalesced-request counter must stay zero).
+func TestCoalescerIdleDirectPath(t *testing.T) {
+	s := newServer(t, gridModel(t, 16, 0), Options{CoalesceWindow: 10 * time.Second})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := s.Assign(vec.Vector{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("idle singletons took %v; direct path not taken", el)
+	}
+	if requests, _ := coalesceCounters(s); requests != 0 {
+		t.Fatalf("idle singletons were coalesced (%d); want direct path", requests)
+	}
+}
+
+// TestCoalescerFullGroupFlushesEarly makes the latency window unusable
+// (one hour) so the max-size early flush is the only way a group can
+// answer. Group membership is count-based — every group detaches at
+// exactly CoalesceMaxBatch members — so a member count divisible by the
+// max must complete as exactly that many full groups, regardless of
+// scheduling. Completion itself proves the early flush.
+func TestCoalescerFullGroupFlushesEarly(t *testing.T) {
+	const maxBatch = 8
+	m := randomModel(t, 16, 4, 9)
+	s := newServer(t, m, Options{
+		CoalesceWindow:   time.Hour,
+		CoalesceMaxBatch: maxBatch,
+	})
+	holdInflight(t, s)
+	const n = 8 * maxBatch
+	queries := randomQueries(n, 4, 3)
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q vec.Vector) {
+			defer wg.Done()
+			got, err := s.Assign(q)
+			if err != nil {
+				t.Errorf("Assign(%d): %v", i, err)
+				return
+			}
+			wi, wd := vec.NearestIndex(queries[i], m.Centers)
+			if want := (Assignment{Cluster: wi, Distance: math.Sqrt(wd)}); got != want {
+				t.Errorf("Assign(%d) = %+v, want %+v", i, got, want)
+			}
+		}(i, q)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("coalesced groups never flushed; full-group early flush broken")
+	}
+	requests, batches := coalesceCounters(s)
+	if requests != n || batches != n/maxBatch {
+		t.Fatalf("%d requests in %d batches; want %d in %d full groups",
+			requests, batches, n, n/maxBatch)
+	}
+}
+
+// TestCoalescerMemberErrorIsolation parks a NaN query and healthy
+// queries in the same window and asserts the NaN member alone fails
+// while its groupmates are answered.
+func TestCoalescerMemberErrorIsolation(t *testing.T) {
+	m := randomModel(t, 16, 4, 13)
+	s := newServer(t, m, Options{CoalesceWindow: 50 * time.Millisecond})
+	holdInflight(t, s)
+	bad := vec.Vector{math.NaN(), 0, 0, 0}
+	good := randomQueries(8, 4, 17)
+
+	var wg sync.WaitGroup
+	var badErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, badErr = s.Assign(bad)
+	}()
+	for i, q := range good {
+		wg.Add(1)
+		go func(i int, q vec.Vector) {
+			defer wg.Done()
+			got, err := s.Assign(q)
+			if err != nil {
+				t.Errorf("good member %d poisoned by neighbor: %v", i, err)
+				return
+			}
+			wi, wd := vec.NearestIndex(q, m.Centers)
+			if want := (Assignment{Cluster: wi, Distance: math.Sqrt(wd)}); got != want {
+				t.Errorf("good member %d = %+v, want %+v", i, got, want)
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	if badErr == nil {
+		t.Fatal("NaN member was assigned a cluster")
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gmeansmr/internal/kdtree"
+	"gmeansmr/internal/vec"
+)
+
+// BenchmarkAssignCrossover is the measurement behind the crossover
+// heuristic constants in this package (see the package doc): for a grid
+// of (k, dim) it times the three ways one query batch can be answered —
+// brute-force scalar scan, kd-tree descent, and the fused columnar
+// kernel — on the same centers and queries. Re-run it when the kernels
+// change and update DefaultBruteForceMaxK / KDTreeMaxDim /
+// BatchBruteMinDim / BatchBruteMaxK if the crossover moved:
+//
+//	go test -run xxx -bench BenchmarkAssignCrossover -benchtime 100x ./internal/serve/
+func BenchmarkAssignCrossover(b *testing.B) {
+	const batch = 256
+	for _, dim := range []int{2, 4, 8, 16, 32} {
+		for _, k := range []int{4, 8, 16, 32, 64, 128, 256} {
+			rng := rand.New(rand.NewSource(int64(dim*1000 + k)))
+			centers := make([]vec.Vector, k)
+			for i := range centers {
+				c := make(vec.Vector, dim)
+				for j := range c {
+					c[j] = rng.Float64() * 100
+				}
+				centers[i] = c
+			}
+			queries := make([]vec.Vector, batch)
+			for i := range queries {
+				q := make(vec.Vector, dim)
+				for j := range q {
+					q[j] = rng.Float64() * 100
+				}
+				queries[i] = q
+			}
+			tree := kdtree.Build(centers)
+			pack := vec.PackCenters(centers)
+
+			b.Run(fmt.Sprintf("d=%d/k=%d/brute", dim, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, q := range queries {
+						vec.NearestIndex(q, centers)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/point")
+			})
+			b.Run(fmt.Sprintf("d=%d/k=%d/kdtree", dim, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, q := range queries {
+						tree.Nearest(q)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/point")
+			})
+			b.Run(fmt.Sprintf("d=%d/k=%d/columnar", dim, k), func(b *testing.B) {
+				s := pack.GetScratch()
+				defer pack.PutScratch(s)
+				for i := 0; i < b.N; i++ {
+					pack.NearestRows(queries, s)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/point")
+			})
+		}
+	}
+}

@@ -4,19 +4,49 @@
 // the opposite regime — many small concurrent requests against a small
 // read-only center set.
 //
-// Two design points carry the load:
+// # The columnar assign path
 //
-//   - Nearest-center lookup goes through the same kdtree acceleration the
-//     training inner loop uses, with a brute-force linear scan below a
-//     small k where tree descent overhead exceeds the scan (the tree wins
-//     only once pruning saves more distance computations than the
-//     traversal costs).
-//   - The active model lives behind an atomic.Pointer. Every request loads
-//     the pointer once and works against that immutable snapshot (model +
-//     index built together), so a concurrent hot swap (POST
-//     /v1/model/reload) is invisible to in-flight requests: they finish on
-//     the old model, new requests see the new one, and no lock is ever
-//     taken on the query path.
+// Every batch of queries — a client batch on /v1/assign/batch, or
+// concurrent singleton /v1/assign requests coalesced server-side (see
+// coalesce.go) — executes through the same fused columnar kernel the
+// training inner loop uses (vec.NearestBatch: dim-major, AVX-512/AVX2
+// point tiles on amd64). The active model publishes a kernel-ready
+// packed center set
+// (vec.CenterPack via model.Pack) with per-request scratch pooling, so
+// the steady-state query path performs no allocation and no transpose
+// setup beyond the points themselves.
+//
+// # Crossover heuristic
+//
+// Three interchangeable paths can answer a query, all bit-identical
+// (same distance bits, same lowest-index tie rule — pinned by test):
+// the fused columnar kernel, per-point kd-tree descent, and a per-point
+// linear scan. Which one wins was measured on this repository's kernels
+// (BenchmarkAssignCrossover, 2.1 GHz Xeon, AVX-512; re-run it when
+// kernels change and update the constants below):
+//
+//   - Batches: the columnar kernel wins everywhere except one corner —
+//     dim ≥ BatchBruteMinDim with k ≤ BatchBruteMaxK, where the curse of
+//     dimensionality defeats kd-tree pruning AND the center set is too
+//     small for the kernel's tile setup to amortize, so a plain per-point
+//     scan wins. (Under the earlier 4-wide AVX2 kernel, per-point kd-tree
+//     descent also won batches at dim ≤ 2 with k > 128; the 8-wide
+//     AVX-512 tile erased that region — measured d=2, k=256: ~134
+//     ns/point columnar vs ~225 descending.)
+//   - Singletons (the direct, un-coalesced path; a batch of one gains
+//     nothing from SIMD): a linear scan wins up to DefaultBruteForceMaxK
+//     centers at any dimensionality, and beyond that kd-tree descent
+//     wins only below KDTreeMaxDim dimensions — above it, descent visits
+//     most leaves anyway and loses to the scan's locality.
+//
+// # Hot swap
+//
+// The active model lives behind an atomic.Pointer. Every request loads
+// the pointer once and works against that immutable snapshot (model +
+// packed centers + index built together), so a concurrent hot swap (POST
+// /v1/model/reload) is invisible to in-flight requests: they finish on
+// the old model, new requests see the new one, and no lock is ever taken
+// on the query path.
 //
 // Endpoints:
 //
@@ -26,9 +56,17 @@
 //	POST /v1/model/reload                             → hot-swap from the configured loader
 //	GET  /healthz                                     → liveness + model summary + uptime + build info
 //	GET  /metrics                                     → Prometheus text format
+//
+// Both assign endpoints also speak a binary wire format (GMPB request
+// frames, GMAB response frames — see binary.go and docs/formats.md)
+// selected by the request body's magic bytes, so load generators and
+// high-volume clients skip JSON entirely. Error responses are typed:
+// every 4xx/5xx body carries a stable machine-readable "code" alongside
+// the human-readable "error".
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,9 +82,32 @@ import (
 	"gmeansmr/internal/vec"
 )
 
-// DefaultBruteForceMaxK is the center count at or below which assignment
-// uses a linear scan instead of the kd-tree.
-const DefaultBruteForceMaxK = 8
+// Crossover constants, measured by BenchmarkAssignCrossover (see the
+// package doc). Each marks the boundary at which the named fallback path
+// overtakes its alternative on the measurement machine; selections stay
+// within ~10% of the per-cell optimum across the measured (k, dim) grid.
+const (
+	// DefaultBruteForceMaxK is the center count at or below which a
+	// singleton query uses a linear scan instead of kd-tree descent.
+	// Measured: descent overhead beats the scan's locality up to k≈16
+	// at every dimensionality tried (the pre-measurement value, 8, was
+	// too low).
+	DefaultBruteForceMaxK = 16
+
+	// KDTreeMaxDim is the dimensionality above which kd-tree descent is
+	// never selected: measured, pruning collapses above ~4 dimensions
+	// and descent loses to a linear scan at every k.
+	KDTreeMaxDim = 4
+
+	// BatchBruteMinDim / BatchBruteMaxK bound the one corner where a
+	// per-point linear scan beats the columnar kernel on batches: high
+	// dimensionality with a tiny center set (measured: d=16, k=4 scans
+	// in ~49 ns/point vs ~66 through the kernel; d=32, k=4 in ~75 vs
+	// ~215 — the transpose cannot amortize over 4 centers). By d=16,
+	// k=8 the kernel is back in front.
+	BatchBruteMinDim = 16
+	BatchBruteMaxK   = 4
+)
 
 // DefaultMaxBatch caps the number of points in one batch request.
 const DefaultMaxBatch = 10_000
@@ -54,6 +115,20 @@ const DefaultMaxBatch = 10_000
 // defaultMaxBodyBytes caps a request body; a batch of DefaultMaxBatch
 // points in R^100 in JSON fits comfortably.
 const defaultMaxBodyBytes = 64 << 20
+
+// Stable machine-readable error codes carried in every error response's
+// "code" field, so clients and load generators can branch without
+// parsing English.
+const (
+	CodeBadBody      = "bad_body"      // malformed JSON or binary framing
+	CodeEmptyBatch   = "empty_batch"   // batch with zero points
+	CodeEmptyPoint   = "empty_point"   // zero-dimensional point
+	CodeDimMismatch  = "dim_mismatch"  // point dimensionality != model's
+	CodeNumericRange = "numeric_range" // NaN coordinate or distance overflow
+	CodeTooLarge     = "too_large"     // batch or body over the limit
+	CodeNoLoader     = "no_loader"     // reload without a snapshot source
+	CodeReloadFailed = "reload_failed" // loader error during reload
+)
 
 // Options configure a Server. The zero value is serviceable.
 type Options struct {
@@ -65,6 +140,16 @@ type Options struct {
 	BruteForceMaxK int
 	// MaxBatch overrides DefaultMaxBatch (<=0 = default).
 	MaxBatch int
+	// CoalesceWindow enables server-side micro-batching of concurrent
+	// singleton /v1/assign requests: a request that arrives while others
+	// are in flight waits up to this long for companions, then one fused
+	// kernel call answers the whole group. 0 disables coalescing; see
+	// coalesce.go for the latency/throughput trade.
+	CoalesceWindow time.Duration
+	// CoalesceMaxBatch caps one coalesced group (<=0 = default 256, the
+	// kernel's SIMD tile width); a full group flushes without waiting
+	// out the window.
+	CoalesceMaxBatch int
 }
 
 // Assignment is one point's answer: the nearest center's index and the
@@ -74,12 +159,15 @@ type Assignment struct {
 	Distance float64 `json:"distance"`
 }
 
-// assigner pairs an immutable model with the index built over its centers.
-// The pair swaps atomically as a unit, so a request can never see a tree
-// built over a different model than the one it reads centers from.
+// assigner pairs an immutable model with the query structures derived
+// from it: the kernel-ready packed centers and, when the crossover
+// heuristic wants it, a kd-tree index. The triple swaps atomically as a
+// unit, so a request can never see an index built over a different model
+// than the one it reads centers from.
 type assigner struct {
 	m    *model.Model
-	tree *kdtree.Tree // nil → brute force
+	pack *vec.CenterPack
+	tree *kdtree.Tree // non-nil iff singleton descent is selected for this model
 	gen  int64        // swap generation, 1-based
 }
 
@@ -89,13 +177,17 @@ type assigner struct {
 // "cluster".
 var errNumericRange = errors.New("serve: point is outside the model's numeric range")
 
+// assign answers one singleton query on the direct (un-coalesced) path:
+// kd-tree descent when the model's (k, dim) sit in the measured descent
+// window, a linear scan otherwise. A batch of one gains nothing from the
+// columnar kernel, so it is never used here.
 func (a *assigner) assign(p vec.Vector) (Assignment, error) {
 	var idx int
 	var d2 float64
 	if a.tree != nil {
 		idx, d2 = a.tree.Nearest(p)
 	} else {
-		idx, d2 = vec.NearestIndex(p, a.m.Centers)
+		idx, d2 = a.pack.Nearest(p)
 	}
 	if idx < 0 {
 		return Assignment{}, errNumericRange
@@ -103,20 +195,51 @@ func (a *assigner) assign(p vec.Vector) (Assignment, error) {
 	return Assignment{Cluster: idx, Distance: math.Sqrt(d2)}, nil
 }
 
+// assignInto assigns every point of a dim-validated batch through the
+// crossover-selected batch path, writing out[j] for each. Points with no
+// finite nearest center get Cluster -1 (Distance +Inf); it returns the
+// index of the first such point, or -1 when all points assigned. All
+// three paths are bit-identical (pinned by TestServePathEquivalence), so
+// the selection is invisible in the results.
+func (a *assigner) assignInto(points []vec.Vector, out []Assignment) int {
+	k, dim := a.m.K, a.m.Dim
+	firstBad := -1
+	switch {
+	case dim >= BatchBruteMinDim && k <= BatchBruteMaxK:
+		for j, p := range points {
+			i, d2 := a.pack.Nearest(p)
+			if i < 0 && firstBad < 0 {
+				firstBad = j
+			}
+			out[j] = Assignment{Cluster: i, Distance: math.Sqrt(d2)}
+		}
+	default:
+		s := a.pack.GetScratch()
+		idx, dist := a.pack.NearestRows(points, s)
+		for j := range points {
+			if idx[j] < 0 && firstBad < 0 {
+				firstBad = j
+			}
+			out[j] = Assignment{Cluster: int(idx[j]), Distance: math.Sqrt(dist[j])}
+		}
+		a.pack.PutScratch(s)
+	}
+	return firstBad
+}
+
 // assignBatch validates and assigns a whole batch against this one
 // snapshot — the single implementation behind both Server.AssignBatch and
-// the HTTP batch handler.
+// the HTTP batch handler. Client batches keep all-or-nothing semantics: a
+// single invalid point fails the batch with its index named.
 func (a *assigner) assignBatch(points []vec.Vector) ([]Assignment, error) {
-	out := make([]Assignment, len(points))
 	for i, p := range points {
 		if len(p) != a.m.Dim {
 			return nil, fmt.Errorf("serve: point %d has %d dimensions, model wants %d", i, len(p), a.m.Dim)
 		}
-		asg, err := a.assign(p)
-		if err != nil {
-			return nil, fmt.Errorf("point %d: %w", i, err)
-		}
-		out[i] = asg
+	}
+	out := make([]Assignment, len(points))
+	if bad := a.assignInto(points, out); bad >= 0 {
+		return nil, fmt.Errorf("point %d: %w", bad, errNumericRange)
 	}
 	return out, nil
 }
@@ -135,17 +258,21 @@ type Server struct {
 	loader   func() (*model.Model, error)
 	bruteK   int
 	maxBatch int
+	coal     *coalescer // nil when coalescing is disabled
 	mux      *http.ServeMux
 
 	// Observability: the registry backs GET /metrics; the handles below
 	// are looked up once here so the query path ticks them lock-free.
-	reg        *obs.Registry
-	started    time.Time
-	assignHist *obs.Histogram
-	batchHist  *obs.Histogram
-	inflight   *obs.Gauge
-	requests   *obs.Counter
-	swaps      *obs.Counter
+	reg         *obs.Registry
+	started     time.Time
+	assignHist  *obs.Histogram
+	batchHist   *obs.Histogram
+	inflight    *obs.Gauge
+	requests    *obs.Counter
+	swaps       *obs.Counter
+	coalesced   *obs.Counter // singleton requests answered via a coalesced kernel call
+	coalBatches *obs.Counter // coalesced kernel calls issued
+	binReqs     *obs.Counter // binary-framed assign requests
 }
 
 // New builds a Server over m. The model is retained and must not be
@@ -163,11 +290,17 @@ func New(m *model.Model, opts Options) (*Server, error) {
 	s.inflight = s.reg.Gauge("serve_inflight_requests")
 	s.requests = s.reg.Counter("serve_requests_total")
 	s.swaps = s.reg.Counter("serve_model_swaps_total")
+	s.coalesced = s.reg.Counter("serve_coalesced_requests_total")
+	s.coalBatches = s.reg.Counter("serve_coalesced_batches_total")
+	s.binReqs = s.reg.Counter("serve_binary_requests_total")
 	if s.bruteK <= 0 {
 		s.bruteK = DefaultBruteForceMaxK
 	}
 	if s.maxBatch <= 0 {
 		s.maxBatch = DefaultMaxBatch
+	}
+	if opts.CoalesceWindow > 0 {
+		s.coal = newCoalescer(s, opts.CoalesceWindow, opts.CoalesceMaxBatch)
 	}
 	if err := s.Swap(m); err != nil {
 		return nil, err
@@ -186,13 +319,16 @@ func New(m *model.Model, opts Options) (*Server, error) {
 // Swap atomically replaces the active model. In-flight requests finish on
 // the model they started with; requests that begin after Swap returns see
 // the new one. The model must not be mutated after being handed over.
+// The kernel-ready center pack — and the kd-tree, when the crossover
+// heuristic selects descent for this model's shape — are derived here,
+// once per swap, and published atomically with the model.
 func (s *Server) Swap(m *model.Model) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	a := &assigner{m: m}
-	if m.K > s.bruteK {
-		a.tree = kdtree.Build(m.Centers)
+	a := &assigner{m: m, pack: m.Pack()}
+	if m.K > s.bruteK && m.Dim <= KDTreeMaxDim {
+		a.tree = kdtree.Build(a.pack.Centers())
 	}
 	s.swapMu.Lock()
 	s.gen++
@@ -227,18 +363,23 @@ func (s *Server) Model() *model.Model { return s.active.Load().m }
 func (s *Server) Generation() int64 { return s.active.Load().gen }
 
 // Assign answers a single query against the active model: the nearest
-// center's index and the Euclidean distance to it.
+// center's index and the Euclidean distance to it. Like the HTTP
+// singleton endpoint, it rides the coalescer when Options.CoalesceWindow
+// enabled one (see coalesce.go), so concurrent callers share kernel
+// batches; on an idle server it always takes the direct path.
 func (s *Server) Assign(p vec.Vector) (Assignment, error) {
 	a := s.active.Load()
 	if len(p) != a.m.Dim {
 		return Assignment{}, fmt.Errorf("serve: point has %d dimensions, model wants %d", len(p), a.m.Dim)
 	}
-	return a.assign(p)
+	asg, _, err := s.assignSingle(a, p)
+	return asg, err
 }
 
 // AssignBatch answers a batch of queries against one consistent model
 // snapshot: every point in the batch is assigned by the same model even if
-// a swap lands mid-batch.
+// a swap lands mid-batch, through the crossover-selected batch path
+// (columnar kernel in all but the measured fallback corners).
 func (s *Server) AssignBatch(points []vec.Vector) ([]Assignment, error) {
 	return s.active.Load().assignBatch(points)
 }
@@ -273,28 +414,52 @@ type assignResponse struct {
 	Distance float64    `json:"distance"`
 }
 
+// validatePoint maps a query point's shape problems to a typed error
+// code ("" = valid). NaN/overflow is detected by the kernel, not here:
+// scanning coordinates up front would put an extra O(dim) pass on the
+// hot path to catch a case the kernel already reports as index -1.
+func validatePoint(p vec.Vector, dim int) (code, msg string) {
+	switch {
+	case len(p) == 0:
+		return CodeEmptyPoint, "missing or empty point"
+	case len(p) != dim:
+		return CodeDimMismatch, fmt.Sprintf("point has %d dimensions, model wants %d", len(p), dim)
+	}
+	return "", ""
+}
+
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.assignHist.Observe(time.Since(start).Seconds()) }()
-	var req assignRequest
-	if !decodeJSON(w, r, &req) {
+	body, ok := readBody(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Point) == 0 {
-		httpError(w, http.StatusBadRequest, "missing point")
+	defer putBody(body)
+	if isBinaryRequest(body.Bytes()) {
+		s.handleAssignBinary(w, body.Bytes())
+		return
+	}
+	req := singleReqPool.Get().(*assignRequest)
+	defer singleReqPool.Put(req)
+	req.Point = req.Point[:0]
+	if !decodeJSON(w, body.Bytes(), req) {
 		return
 	}
 	// Load the assigner once so cluster id and center come from the same
 	// model even under a concurrent swap.
 	a := s.active.Load()
-	if len(req.Point) != a.m.Dim {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("point has %d dimensions, model wants %d", len(req.Point), a.m.Dim))
+	if code, msg := validatePoint(req.Point, a.m.Dim); code != "" {
+		httpError(w, http.StatusBadRequest, code, msg)
 		return
 	}
-	asg, err := a.assign(req.Point)
+	asg, a, err := s.assignSingle(a, req.Point)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		code := CodeNumericRange
+		if err == errSwapDimMismatch {
+			code = CodeDimMismatch
+		}
+		httpError(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, assignResponse{
@@ -302,6 +467,22 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		Center:   a.m.Centers[asg.Cluster],
 		Distance: asg.Distance,
 	})
+}
+
+// assignSingle routes one validated singleton query: through the
+// coalescer when it is enabled and other singletons are in flight,
+// directly otherwise. It returns the assigner that answered, which under
+// coalescing may be a newer snapshot than the caller loaded — the
+// response's center must come from the same snapshot as the cluster id.
+// The coalescer re-validates against its own snapshot, so a hot swap
+// between the caller's load and the kernel call can reject but never
+// misroute (see coalesce.go).
+func (s *Server) assignSingle(a *assigner, p vec.Vector) (Assignment, *assigner, error) {
+	if s.coal != nil {
+		return s.coal.assign(p)
+	}
+	asg, err := a.assign(p)
+	return asg, a, err
 }
 
 type batchRequest struct {
@@ -313,26 +494,57 @@ type batchResponse struct {
 	K           int          `json:"k"`
 }
 
+// validateBatch maps a batch's shape problems to a typed error code
+// ("" = valid), covering the empty, oversized, zero-dim and ragged cases.
+func validateBatch(points []vec.Vector, dim, maxBatch int) (code, msg string) {
+	if len(points) == 0 {
+		return CodeEmptyBatch, "missing points"
+	}
+	if len(points) > maxBatch {
+		return CodeTooLarge, fmt.Sprintf("batch of %d points exceeds limit %d", len(points), maxBatch)
+	}
+	for i, p := range points {
+		switch {
+		case len(p) == 0:
+			return CodeEmptyPoint, fmt.Sprintf("point %d is empty", i)
+		case len(p) != dim:
+			return CodeDimMismatch, fmt.Sprintf("point %d has %d dimensions, model wants %d", i, len(p), dim)
+		}
+	}
+	return "", ""
+}
+
 func (s *Server) handleAssignBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.batchHist.Observe(time.Since(start).Seconds()) }()
-	var req batchRequest
-	if !decodeJSON(w, r, &req) {
+	body, ok := readBody(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Points) == 0 {
-		httpError(w, http.StatusBadRequest, "missing points")
+	defer putBody(body)
+	if isBinaryRequest(body.Bytes()) {
+		s.handleAssignBatchBinary(w, body.Bytes())
 		return
 	}
-	if len(req.Points) > s.maxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d points exceeds limit %d", len(req.Points), s.maxBatch))
+	req := batchReqPool.Get().(*batchRequest)
+	defer batchReqPool.Put(req)
+	req.Points = req.Points[:0]
+	if !decodeJSON(w, body.Bytes(), req) {
 		return
 	}
 	a := s.active.Load()
-	out, err := a.assignBatch(req.Points)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	if code, msg := validateBatch(req.Points, a.m.Dim, s.maxBatch); code != "" {
+		status := http.StatusBadRequest
+		if code == CodeTooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, code, msg)
+		return
+	}
+	out := make([]Assignment, len(req.Points))
+	if bad := a.assignInto(req.Points, out); bad >= 0 {
+		httpError(w, http.StatusBadRequest, CodeNumericRange,
+			fmt.Sprintf("point %d: %v", bad, errNumericRange))
 		return
 	}
 	writeJSON(w, http.StatusOK, batchResponse{Assignments: out, K: a.m.K})
@@ -357,11 +569,11 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.loader == nil {
-		httpError(w, http.StatusConflict, "no snapshot source configured for reload")
+		httpError(w, http.StatusConflict, CodeNoLoader, "no snapshot source configured for reload")
 		return
 	}
 	if err := s.Reload(); err != nil {
-		httpError(w, http.StatusBadGateway, err.Error())
+		httpError(w, http.StatusBadGateway, CodeReloadFailed, err.Error())
 		return
 	}
 	a := s.active.Load()
@@ -388,43 +600,81 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+// Buffer and request-struct pools: the assign endpoints are dominated by
+// encoding/json allocation at high QPS (body read buffer, decoded point
+// slices, marshaled response), so all three are pooled. Decoding into a
+// pooled request struct reuses its slice capacity (encoding/json fills
+// existing backing arrays), so a warmed server decodes a singleton
+// request with near-zero garbage; BenchmarkHTTPAssign records the delta.
+var (
+	bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+	singleReqPool = sync.Pool{New: func() any { return new(assignRequest) }}
+	batchReqPool  = sync.Pool{New: func() any { return new(batchRequest) }}
+)
+
+// readBody reads the whole (bounded) request body into a pooled buffer.
+// The caller must putBody it when done — after the response is written,
+// since decoded values may alias the buffer.
+func readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, bool) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
 	r.Body = http.MaxBytesReader(w, r.Body, defaultMaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		putBody(buf)
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge, "request body too large")
-			return false
+			httpError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, "request body too large")
+		} else {
+			httpError(w, http.StatusBadRequest, CodeBadBody, "reading request body: "+err.Error())
 		}
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return nil, false
+	}
+	return buf, true
+}
+
+func putBody(buf *bytes.Buffer) {
+	// Oversized one-off bodies are dropped rather than pinned in the pool.
+	if buf.Cap() <= 1<<20 {
+		bufPool.Put(buf)
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, body []byte, dst any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadBody, "bad request body: "+err.Error())
 		return false
 	}
 	if dec.More() {
-		httpError(w, http.StatusBadRequest, "bad request body: trailing data after JSON value")
+		httpError(w, http.StatusBadRequest, CodeBadBody, "bad request body: trailing data after JSON value")
 		return false
 	}
 	return true
 }
 
-// writeJSON encodes before touching the response so an encoding failure
-// can still surface as a 500 instead of a 200 with an empty body.
+// writeJSON encodes into a pooled buffer before touching the response, so
+// an encoding failure can still surface as a 500 instead of a 200 with an
+// empty body, and the marshal allocation is reused across requests.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer putBody(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		w.Write([]byte(`{"error":"internal: response encoding failed"}` + "\n"))
+		w.Write([]byte(`{"error":"internal: response encoding failed","code":"internal"}` + "\n"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(data, '\n'))
+	w.Write(buf.Bytes())
 }
 
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+func httpError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }

@@ -59,39 +59,52 @@ func newServer(t testing.TB, m *model.Model, opts Options) *Server {
 	return s
 }
 
-// TestAssignMatchesBruteForce is the acceptance check: the kd-tree path
-// must agree exactly with the linear scan, cluster id and distance both.
+// TestAssignMatchesBruteForce is the acceptance check: whatever path the
+// crossover heuristic selects — kd-tree descent at low dim, linear scan
+// elsewhere — must agree exactly with the reference scan, cluster id and
+// distance both. The (k, dim) grid spans every selection region.
 func TestAssignMatchesBruteForce(t *testing.T) {
-	for _, k := range []int{1, 3, 8, 9, 50, 200} {
-		m := randomModel(t, k, 6, int64(k))
-		s := newServer(t, m, Options{})
-		rng := rand.New(rand.NewSource(99))
-		for q := 0; q < 500; q++ {
-			p := make(vec.Vector, 6)
-			for j := range p {
-				p[j] = rng.Float64()*140 - 20
-			}
-			got, err := s.Assign(p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			wantIdx, wantD2 := vec.NearestIndex(p, m.Centers)
-			if got.Cluster != wantIdx || got.Distance != math.Sqrt(wantD2) {
-				t.Fatalf("k=%d: Assign=%+v, brute force wants cluster %d distance %g",
-					k, got, wantIdx, math.Sqrt(wantD2))
+	for _, dim := range []int{2, 3, 6, 32} {
+		for _, k := range []int{1, 3, 8, 16, 17, 50, 200} {
+			m := randomModel(t, k, dim, int64(k*100+dim))
+			s := newServer(t, m, Options{})
+			rng := rand.New(rand.NewSource(99))
+			for q := 0; q < 200; q++ {
+				p := make(vec.Vector, dim)
+				for j := range p {
+					p[j] = rng.Float64()*140 - 20
+				}
+				got, err := s.Assign(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantIdx, wantD2 := vec.NearestIndex(p, m.Centers)
+				if got.Cluster != wantIdx || got.Distance != math.Sqrt(wantD2) {
+					t.Fatalf("k=%d dim=%d: Assign=%+v, brute force wants cluster %d distance %g",
+						k, dim, got, wantIdx, math.Sqrt(wantD2))
+				}
 			}
 		}
 	}
 }
 
-func TestTinyKUsesBruteForce(t *testing.T) {
+// TestCrossoverTreeSelection pins the measured crossover heuristic's
+// structural half: descent structures are built exactly when (k, dim)
+// sit inside the measured descent window.
+func TestCrossoverTreeSelection(t *testing.T) {
 	s := newServer(t, randomModel(t, DefaultBruteForceMaxK, 3, 1), Options{})
 	if s.active.Load().tree != nil {
 		t.Error("k <= brute-force threshold built a kd-tree")
 	}
 	s = newServer(t, randomModel(t, DefaultBruteForceMaxK+1, 3, 1), Options{})
 	if s.active.Load().tree == nil {
-		t.Error("k above brute-force threshold did not build a kd-tree")
+		t.Error("k above brute-force threshold (low dim) did not build a kd-tree")
+	}
+	// Above KDTreeMaxDim descent never wins (measured: pruning collapses),
+	// so no tree is built no matter how large k grows.
+	s = newServer(t, randomModel(t, 200, KDTreeMaxDim+1, 1), Options{})
+	if s.active.Load().tree != nil {
+		t.Error("high-dim model built a kd-tree; descent never wins above KDTreeMaxDim")
 	}
 }
 

@@ -8,8 +8,8 @@ package vec
 // of points in column-major (structure-of-arrays) order — coordinate d of
 // point j at colflat[d*n+j] — and one call assigns every point, processing
 // one dimension across a block of points per instruction on hardware with
-// SIMD support (an AVX2 path on amd64, detected at startup) and falling
-// back to a portable Go loop elsewhere.
+// SIMD support (8-wide AVX-512 and 4-wide AVX2 paths on amd64, detected
+// at startup) and falling back to a portable Go loop elsewhere.
 //
 // Bit-compatibility contract: every distance these kernels produce is
 // bit-identical to Dist2 on the same operands. Dist2 is unrolled over four

@@ -18,6 +18,13 @@ package vec
 //go:noescape
 func nearestTileAVX2(center *float64, dim int, col *float64, stride, m int, cidx float64, dist, idxf *float64)
 
+// nearestTileAVX512 is the 512-bit variant of nearestTileAVX2: the same
+// contract with eight points per register, so m must be a positive
+// multiple of 8.
+//
+//go:noescape
+func nearestTileAVX512(center *float64, dim int, col *float64, stride, m int, cidx float64, dist, idxf *float64)
+
 // cpuid executes the CPUID instruction for the given leaf/subleaf.
 func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 
@@ -26,6 +33,10 @@ func xgetbv() (eax, edx uint32)
 
 // useAVX2 reports whether the CPU and OS support the AVX2 tile kernel.
 var useAVX2 = detectAVX2()
+
+// useAVX512 reports whether the CPU and OS additionally support the
+// 8-wide AVX-512 tile kernel (AVX512F plus OS-managed opmask/zmm state).
+var useAVX512 = detectAVX512()
 
 func detectAVX2() bool {
 	maxLeaf, _, _, _ := cpuid(0, 0)
@@ -45,27 +56,46 @@ func detectAVX2() bool {
 	return b7&(1<<5) != 0 // AVX2
 }
 
-// nearestBatchAccel runs the AVX2 tile kernel over every 4-point-aligned
-// prefix tile of the split and the scalar kernel over the ≤3 remaining
-// points. It reports false (caller falls back to the portable kernel)
-// when the hardware lacks AVX2 or the split is too small to tile.
+func detectAVX512() bool {
+	if !useAVX2 { // implies leaf 7 and OSXSAVE are present
+		return false
+	}
+	// XCR0 bits 5-7 on top of XMM/YMM: the OS saves/restores opmask,
+	// ZMM_Hi256 and Hi16_ZMM state.
+	if lo, _ := xgetbv(); lo&0xe6 != 0xe6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<16) != 0 // AVX512F
+}
+
+// nearestBatchAccel runs the widest available tile kernel — 8 points per
+// register under AVX-512, 4 under AVX2 — over the aligned prefix of the
+// split and the scalar kernel over the few remaining points. It reports
+// false (caller falls back to the portable kernel) when the hardware has
+// no tile kernel or the split is too small to tile.
 func nearestBatchAccel(centers []Vector, colflat []float64, n int, idx []int32, dist []float64, s *BatchScratch) bool {
 	if !useAVX2 || n < 4 {
 		return false
+	}
+	width := 4
+	tile := nearestTileAVX2
+	if useAVX512 && n >= 8 {
+		width, tile = 8, nearestTileAVX512
 	}
 	dim := len(centers[0])
 	idxf := s.idxfFor(n)
 	for j := range idxf {
 		idxf[j] = -1
 	}
-	m := n &^ 3
+	m := n &^ (width - 1)
 	for t := 0; t < m; t += nearestTilePoints {
 		tl := nearestTilePoints
 		if m-t < tl {
 			tl = m - t
 		}
 		for c := range centers {
-			nearestTileAVX2(&centers[c][0], dim, &colflat[t], n, tl, float64(c), &dist[t], &idxf[t])
+			tile(&centers[c][0], dim, &colflat[t], n, tl, float64(c), &dist[t], &idxf[t])
 		}
 	}
 	for j := 0; j < m; j++ {

@@ -112,6 +112,109 @@ combine:
 	VZEROUPPER
 	RET
 
+// func nearestTileAVX512(center *float64, dim int, col *float64, stride, m int, cidx float64, dist, idxf *float64)
+//
+// The 512-bit sibling of nearestTileAVX2: one tile of m points (m > 0,
+// multiple of 8) against one center, eight points per zmm register, one
+// SIMD slot each. The per-slot operation order is identical to the ymm
+// kernel — lane d%4 accumulators, scalar dimension order, mul-then-add
+// with no FMA — so results stay bit-identical to Dist2; only the number
+// of points advancing in parallel changes. The best-so-far fold uses an
+// opmask: slots where d2 < dist take masked stores of d2 and cidx,
+// others are left untouched (same strict less-than, so the lowest center
+// index still survives ties).
+TEXT ·nearestTileAVX512(SB), NOSPLIT, $0-64
+	MOVQ center+0(FP), SI
+	MOVQ dim+8(FP), DX
+	MOVQ col+16(FP), BX
+	MOVQ stride+24(FP), CX
+	MOVQ m+32(FP), DI
+	VBROADCASTSD cidx+40(FP), Z15
+	MOVQ dist+48(FP), R8
+	MOVQ idxf+56(FP), R9
+
+	SHLQ $3, CX              // stride in bytes
+	LEAQ (CX)(CX*2), R14     // 3*stride in bytes
+	XORQ R10, R10            // byte offset of the current 8-point group
+
+outer8:
+	// Lane accumulators for 8 points (slot = point, register = lane).
+	VXORPD Z0, Z0, Z0
+	VXORPD Z1, Z1, Z1
+	VXORPD Z2, Z2, Z2
+	VXORPD Z3, Z3, Z3
+	LEAQ (BX)(R10*1), R11    // &col[jj]
+	MOVQ SI, R12             // center cursor
+	MOVQ DX, R13             // dimensions remaining
+
+d4loop8:
+	CMPQ R13, $4
+	JLT  dtail8
+
+	VBROADCASTSD (R12), Z4
+	VMOVUPD      (R11), Z5
+	VSUBPD       Z4, Z5, Z5
+	VMULPD       Z5, Z5, Z5
+	VADDPD       Z5, Z0, Z0
+
+	VBROADCASTSD 8(R12), Z4
+	VMOVUPD      (R11)(CX*1), Z5
+	VSUBPD       Z4, Z5, Z5
+	VMULPD       Z5, Z5, Z5
+	VADDPD       Z5, Z1, Z1
+
+	VBROADCASTSD 16(R12), Z4
+	VMOVUPD      (R11)(CX*2), Z5
+	VSUBPD       Z4, Z5, Z5
+	VMULPD       Z5, Z5, Z5
+	VADDPD       Z5, Z2, Z2
+
+	VBROADCASTSD 24(R12), Z4
+	VMOVUPD      (R11)(R14*1), Z5
+	VSUBPD       Z4, Z5, Z5
+	VMULPD       Z5, Z5, Z5
+	VADDPD       Z5, Z3, Z3
+
+	ADDQ $32, R12
+	LEAQ (R11)(CX*4), R11
+	SUBQ $4, R13
+	JMP  d4loop8
+
+dtail8:
+	TESTQ R13, R13
+	JZ    combine8
+
+tailloop8:
+	// Dist2's tail loop: remaining dimensions accumulate into lane 0.
+	VBROADCASTSD (R12), Z4
+	VMOVUPD      (R11), Z5
+	VSUBPD       Z4, Z5, Z5
+	VMULPD       Z5, Z5, Z5
+	VADDPD       Z5, Z0, Z0
+	ADDQ         $8, R12
+	ADDQ         CX, R11
+	DECQ         R13
+	JNZ          tailloop8
+
+combine8:
+	VADDPD Z1, Z0, Z0        // s0+s1
+	VADDPD Z3, Z2, Z2        // s2+s3
+	VADDPD Z2, Z0, Z0        // d2 = (s0+s1)+(s2+s3)
+
+	// Fold into the running best: strict less-than (predicate 1, LT_OS)
+	// into an opmask, then masked stores update only the improved slots.
+	VMOVUPD (R8)(R10*1), Z6
+	VCMPPD  $1, Z6, Z0, K1
+	VMOVUPD Z0, K1, (R8)(R10*1)
+	VMOVUPD Z15, K1, (R9)(R10*1)
+
+	ADDQ $64, R10
+	SUBQ $8, DI
+	JNZ  outer8
+
+	VZEROUPPER
+	RET
+
 // func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

@@ -1,0 +1,70 @@
+//go:build amd64
+
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNearestBatchPathsAgree pins the three kernel implementations —
+// portable, AVX2 tile, AVX-512 tile — bit-identical to each other on the
+// hardware that has them, by running the same batches with the dispatch
+// flags progressively disabled. Shapes cover the 4- and 8-point
+// alignment tails of both tile widths and sub-width batches.
+func TestNearestBatchPathsAgree(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("no tile kernel on this machine")
+	}
+	saveAVX2, saveAVX512 := useAVX2, useAVX512
+	defer func() { useAVX2, useAVX512 = saveAVX2, saveAVX512 }()
+
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ n, dim, k int }{
+		{256, 16, 32}, {257, 16, 32}, {263, 7, 19}, {8, 4, 3}, {12, 5, 9},
+		{7, 16, 32}, {5, 3, 2}, {64, 1, 4}, {100, 2, 300},
+	} {
+		colflat := make([]float64, tc.n*tc.dim)
+		for i := range colflat {
+			colflat[i] = rng.Float64()*200 - 50
+		}
+		centers := make([]Vector, tc.k)
+		for i := range centers {
+			c := make(Vector, tc.dim)
+			for j := range c {
+				c[j] = rng.Float64() * 100
+			}
+			centers[i] = c
+		}
+
+		type out struct {
+			name string
+			idx  []int32
+			dist []float64
+		}
+		var outs []out
+		run := func(name string, avx2, avx512 bool) {
+			useAVX2, useAVX512 = avx2, avx512
+			idx := make([]int32, tc.n)
+			dist := make([]float64, tc.n)
+			NearestBatch(centers, colflat, tc.n, idx, dist, nil)
+			outs = append(outs, out{name, idx, dist})
+		}
+		run("portable", false, false)
+		run("avx2", true, false)
+		if saveAVX512 {
+			run("avx512", true, true)
+		}
+		ref := outs[0]
+		for _, o := range outs[1:] {
+			for j := 0; j < tc.n; j++ {
+				if o.idx[j] != ref.idx[j] || o.dist[j] != ref.dist[j] {
+					t.Fatalf("n=%d dim=%d k=%d point %d: %s (%d, %v) != %s (%d, %v)",
+						tc.n, tc.dim, tc.k, j, o.name, o.idx[j], o.dist[j],
+						ref.name, ref.idx[j], ref.dist[j])
+				}
+			}
+		}
+		outs = nil
+	}
+}
