@@ -299,7 +299,9 @@ func WithTestStrategy(s string) Option {
 }
 
 // WithKRange sets the candidate k range of AlgorithmMultiK (default
-// 1..16 step 1).
+// 1..16 step 1). At run time the upper bound is clamped to the dataset's
+// point count, since no candidate can seed more centers than there are
+// points.
 func WithKRange(min, max, step int) Option {
 	return func(c *config) {
 		if min < 1 || max < min || step < 1 {
@@ -692,10 +694,20 @@ func (c *Clusterer) runMultiK(ctx context.Context, src DataSource, tr *obs.Trace
 		return nil, err
 	}
 	defer st.cleanup()
+	// A k-means candidate needs k distinct seeds, so cap the sweep at the
+	// staged point count: WithKRange(1, 8) over a 3-point dataset sweeps
+	// k=1..3 instead of failing the k=4 seeding.
+	kMin, kMax := c.cfg.kMin, c.cfg.kMax
+	if kMax > st.n {
+		kMax = st.n
+	}
+	if kMin > kMax {
+		kMin = kMax
+	}
 	mcfg := kmeansmr.MultiConfig{
 		Env:        st.env,
-		KMin:       c.cfg.kMin,
-		KMax:       c.cfg.kMax,
+		KMin:       kMin,
+		KMax:       kMax,
 		KStep:      c.cfg.kStep,
 		Iterations: c.cfg.multiIters,
 		// k-means++ over an oversampled pool: the paper's random seeding is
@@ -717,7 +729,7 @@ func (c *Clusterer) runMultiK(ctx context.Context, src DataSource, tr *obs.Trace
 		return nil, err
 	}
 	var cs []criteria.Clustering
-	for k := c.cfg.kMin; k <= c.cfg.kMax; k += c.cfg.kStep {
+	for k := kMin; k <= kMax; k += c.cfg.kStep {
 		cs = append(cs, criteria.Clustering{K: k, Centers: mres.CentersByK[k], WCSS: mres.WCSSByK[k]})
 	}
 	chosen, err := c.selectK(st.env, cs)

@@ -186,6 +186,29 @@ func TestSeqAlgorithmsCancellation(t *testing.T) {
 	}
 }
 
+// Regression: a multi-k sweep whose configured KMax exceeds the dataset's
+// point count must clamp the sweep to n instead of failing the seeding
+// ("dataset has only 3 points, need 8 centers").
+func TestMultiKRangeClampedToPointCount(t *testing.T) {
+	points := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	c, err := New(WithAlgorithm(AlgorithmMultiK), WithSeed(7), WithKRange(1, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), FromPoints(points))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 1 || res.K > 3 {
+		t.Fatalf("k=%d, want within [1,3] for a 3-point dataset", res.K)
+	}
+	for k := range res.WCSSByK {
+		if k > 3 {
+			t.Errorf("candidate k=%d exceeds point count 3", k)
+		}
+	}
+}
+
 // TestCSVRoundTrip feeds the same dataset once as an in-memory slice and
 // once as a streamed CSV and checks the discovered centers are identical —
 // the parser and the staging path must not perturb the run.

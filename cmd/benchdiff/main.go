@@ -14,6 +14,19 @@
 // artifact. With no -watch list the tool is report-only — single-shot
 // CI numbers are too noisy to gate every benchmark, so CI names the
 // stable, equality-gated hot-path benchmarks explicitly.
+//
+// It also gates the scaling-curve artifact written by
+// `experiments -run scaling`:
+//
+//	benchdiff -scaling SCALING.json [-scaling-old prev/SCALING.json] [-exp-drift 0.3]
+//
+// Each gated series in SCALING.json carries its own exponent band
+// (e.g. G-means cost-vs-k must stay in [0.8, 1.3]); the run fails when a
+// gated exponent leaves its band, or — when the previous push's artifact
+// is supplied — when any gated exponent moved by more than -exp-drift.
+// Unlike ns/op, fitted exponents of deterministic distance counters are
+// noise-free, so the band gate is exact. -scaling may be used alone or
+// combined with the two-artifact ns/op diff.
 package main
 
 import (
@@ -21,10 +34,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strings"
+
+	"gmeansmr/internal/experiments"
 )
 
 // Result is the subset of the benchjson record this tool consumes.
@@ -46,36 +62,122 @@ func main() {
 	log.SetPrefix("benchdiff: ")
 	threshold := flag.Float64("threshold", 0.20, "fail a watched benchmark when ns/op grows by more than this fraction")
 	watchFlag := flag.String("watch", "", "comma-separated regexps of benchmark names to enforce (report-only when empty)")
+	scalingPath := flag.String("scaling", "", "SCALING.json artifact to gate on fitted-exponent bands")
+	scalingOldPath := flag.String("scaling-old", "", "previous push's SCALING.json for exponent-drift detection (skipped when absent)")
+	expDrift := flag.Float64("exp-drift", 0.3, "fail a gated scaling series when its exponent moved by more than this vs -scaling-old")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		log.Fatal("usage: benchdiff [-threshold 0.20] [-watch re,...] old.json new.json")
+	if *scalingPath == "" && flag.NArg() != 2 {
+		log.Fatal("usage: benchdiff [-threshold 0.20] [-watch re,...] [-scaling SCALING.json [-scaling-old prev.json] [-exp-drift 0.3]] old.json new.json")
 	}
-	watch, err := compileWatch(*watchFlag)
-	if err != nil {
-		log.Fatal(err)
+	if *scalingPath != "" && flag.NArg() != 0 && flag.NArg() != 2 {
+		log.Fatal("usage: benchdiff -scaling SCALING.json takes zero or two positional artifacts")
 	}
-	oldResults, err := load(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	newResults, err := load(flag.Arg(1))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	changes, missing := diff(oldResults, newResults, watch)
-	report(os.Stdout, changes, missing, *threshold)
 
 	failures := 0
-	for _, c := range changes {
-		if c.watched && c.ratio > 1+*threshold {
-			failures++
+	if flag.NArg() == 2 {
+		watch, err := compileWatch(*watchFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oldResults, err := load(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		newResults, err := load(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		changes, missing := diff(oldResults, newResults, watch)
+		report(os.Stdout, changes, missing, *threshold)
+
+		for _, c := range changes {
+			if c.watched && c.ratio > 1+*threshold {
+				failures++
+			}
+		}
+		failures += len(missing)
+	}
+
+	if *scalingPath != "" {
+		cur, err := loadScaling(*scalingPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var prev *experiments.ScalingReport
+		if *scalingOldPath != "" {
+			prev, err = loadScaling(*scalingOldPath)
+			if err != nil {
+				// First push after the gate lands (or an expired artifact)
+				// has no previous report; the band check still applies.
+				fmt.Printf("note: no previous scaling artifact (%v); drift check skipped\n", err)
+			}
+		}
+		lines, scalingFailures := checkScaling(cur, prev, *expDrift)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		failures += scalingFailures
+	}
+
+	if failures > 0 {
+		log.Fatalf("%d gated check(s) failed (ns/op regression, missing benchmark, or scaling-exponent violation)", failures)
+	}
+}
+
+func loadScaling(path string) (*experiments.ScalingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report experiments.ScalingReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &report, nil
+}
+
+// checkScaling enforces the scaling-curve gates: every gated series'
+// fitted exponent must sit inside its own [MinExponent, MaxExponent]
+// band, and — when the previous push's report is available — must not
+// have moved by more than drift. Ungated series are reported for trend
+// only. Returns the human-readable report lines and the failure count.
+func checkScaling(cur, prev *experiments.ScalingReport, drift float64) (lines []string, failures int) {
+	prevBy := make(map[string]experiments.ScalingSeries)
+	if prev != nil {
+		for _, s := range prev.Series {
+			prevBy[s.Name] = s
 		}
 	}
-	failures += len(missing)
-	if failures > 0 {
-		log.Fatalf("%d watched benchmark(s) regressed beyond %.0f%% or went missing", failures, *threshold*100)
+	for _, s := range cur.Series {
+		if !s.Gated {
+			lines = append(lines, fmt.Sprintf("  %-24s exponent %6.3f (r²=%.3f, trend only)", s.Name, s.Exponent, s.R2))
+			continue
+		}
+		status := "✓"
+		var problems []string
+		if math.IsNaN(s.Exponent) {
+			problems = append(problems, "exponent not fitted")
+		} else if s.Exponent < s.MinExponent || s.Exponent > s.MaxExponent {
+			problems = append(problems, fmt.Sprintf("outside band [%.2f, %.2f]", s.MinExponent, s.MaxExponent))
+		}
+		if p, ok := prevBy[s.Name]; ok && !math.IsNaN(s.Exponent) && !math.IsNaN(p.Exponent) {
+			if d := math.Abs(s.Exponent - p.Exponent); d > drift {
+				problems = append(problems, fmt.Sprintf("drifted %.3f from previous %.3f (max %.2f)", d, p.Exponent, drift))
+			}
+		}
+		if len(problems) > 0 {
+			status = "✗"
+			failures++
+		}
+		line := fmt.Sprintf("%s %-24s exponent %6.3f in [%.2f, %.2f] (r²=%.3f)",
+			status, s.Name, s.Exponent, s.MinExponent, s.MaxExponent, s.R2)
+		if len(problems) > 0 {
+			line += ": " + strings.Join(problems, "; ")
+		}
+		lines = append(lines, line)
 	}
+	return lines, failures
 }
 
 func load(path string) ([]Result, error) {

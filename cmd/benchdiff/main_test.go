@@ -1,8 +1,12 @@
 package main
 
 import (
+	"math"
 	"regexp"
+	"strings"
 	"testing"
+
+	"gmeansmr/internal/experiments"
 )
 
 func results(pairs ...any) []Result {
@@ -61,6 +65,76 @@ func TestDiffSkipsZeroBaseline(t *testing.T) {
 	changes, _ := diff(results("BenchmarkZ-2", 0), results("BenchmarkZ-2", 10), nil)
 	if len(changes) != 0 {
 		t.Errorf("zero ns/op baseline compared: %+v", changes)
+	}
+}
+
+// gatedSeries builds a gated scaling series with the G-means cost-vs-k
+// band from the real suite.
+func gatedSeries(name string, exponent float64) experiments.ScalingSeries {
+	return experiments.ScalingSeries{
+		Name: name, Unit: "distance computations",
+		X: []float64{4, 8, 16, 32}, Y: []float64{1, 2, 4, 8},
+		Exponent: exponent, R2: 0.999,
+		Gated: true, MinExponent: 0.8, MaxExponent: 1.3,
+	}
+}
+
+// TestCheckScalingFailsExponentRegression is the synthetic regression the
+// CI gate exists for: an implementation change that makes G-means cost
+// superlinear in k (exponent 1.45 against the paper's linear claim) must
+// fail the build even though every individual benchmark might still pass.
+func TestCheckScalingFailsExponentRegression(t *testing.T) {
+	report := &experiments.ScalingReport{Series: []experiments.ScalingSeries{gatedSeries("gmeans-cost-vs-k", 1.45)}}
+	lines, failures := checkScaling(report, nil, 0.3)
+	if failures != 1 {
+		t.Fatalf("out-of-band exponent produced %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "outside band") {
+		t.Errorf("failure line should name the band violation: %v", lines)
+	}
+}
+
+func TestCheckScalingPassesInBand(t *testing.T) {
+	report := &experiments.ScalingReport{Series: []experiments.ScalingSeries{
+		gatedSeries("gmeans-cost-vs-k", 1.05),
+		{Name: "gmeans-time-vs-nodes", Unit: "seconds", Exponent: -0.4}, // ungated: trend only
+	}}
+	lines, failures := checkScaling(report, nil, 0.3)
+	if failures != 0 {
+		t.Fatalf("in-band report failed:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) != 2 {
+		t.Errorf("every series should be reported: %v", lines)
+	}
+}
+
+func TestCheckScalingDetectsDrift(t *testing.T) {
+	// Both exponents in band, but the new one moved 0.35 — past the 0.3
+	// drift allowance — since the previous push.
+	cur := &experiments.ScalingReport{Series: []experiments.ScalingSeries{gatedSeries("gmeans-cost-vs-k", 1.25)}}
+	prev := &experiments.ScalingReport{Series: []experiments.ScalingSeries{gatedSeries("gmeans-cost-vs-k", 0.90)}}
+	lines, failures := checkScaling(cur, prev, 0.3)
+	if failures != 1 {
+		t.Fatalf("drift produced %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "drifted") {
+		t.Errorf("failure line should name the drift: %v", lines)
+	}
+	// The same pair passes with a looser allowance, and a prev report
+	// missing the series skips the drift check entirely.
+	if _, failures := checkScaling(cur, prev, 0.5); failures != 0 {
+		t.Error("in-band pair failed under loose drift allowance")
+	}
+	if _, failures := checkScaling(cur, &experiments.ScalingReport{}, 0.3); failures != 0 {
+		t.Error("missing previous series should skip the drift check")
+	}
+}
+
+func TestCheckScalingUnfittedExponentFails(t *testing.T) {
+	report := &experiments.ScalingReport{Series: []experiments.ScalingSeries{gatedSeries("gmeans-cost-vs-k", math.NaN())}}
+	_, failures := checkScaling(report, nil, 0.3)
+	if failures != 1 {
+		t.Errorf("NaN exponent on a gated series produced %d failures, want 1", failures)
 	}
 }
 

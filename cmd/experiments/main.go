@@ -24,14 +24,15 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		run   = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
-		scale = flag.Float64("scale", 1.0, "workload scale factor (points)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.String("csv", "", "directory receiving CSV dumps (optional)")
+		run         = flag.String("run", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+		scale       = flag.Float64("scale", 1.0, "workload scale factor (points)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		csv         = flag.String("csv", "", "directory receiving CSV dumps (optional)")
+		scalingJSON = flag.String("scaling-json", "", "path for the scaling experiment's machine-readable report (SCALING.json)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Out: os.Stdout, CSVDir: *csv, Scale: *scale, Seed: *seed}
+	opts := experiments.Options{Out: os.Stdout, CSVDir: *csv, Scale: *scale, Seed: *seed, ScalingJSON: *scalingJSON}
 	if *run == "all" {
 		if err := experiments.RunAll(opts); err != nil {
 			log.Fatal(err)

@@ -42,6 +42,7 @@ import (
 	"gmeansmr/internal/mrdist"
 	"gmeansmr/internal/retry"
 	"gmeansmr/internal/vec"
+	"gmeansmr/internal/zoo"
 )
 
 func main() {
@@ -60,6 +61,10 @@ func main() {
 		points        = flag.Int("n", 2000, "dataset points")
 		logDir        = flag.String("logdir", os.Getenv("MRDIST_LOG_DIR"), "worker-log directory (kept for reproduction)")
 		verbose       = flag.Bool("v", false, "log per-cell metrics")
+		zooMode       = flag.Bool("zoo", false, "run the adversarial-data zoo matrix and concurrency soaks instead of the chaos matrix")
+		cellsFlag     = flag.String("cells", "all", "with -zoo: zoo cells to sweep (comma list, all, or none)")
+		algosFlag     = flag.String("algos", "all", "with -zoo: algorithms to sweep (comma list or all)")
+		soaksFlag     = flag.String("soaks", "all", "with -zoo: concurrency soaks to run (comma list of reload,cancel,fsrace, all, or none)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,19 @@ func main() {
 		for _, k := range kinds {
 			fmt.Println("kind:", k.name)
 		}
+		for _, c := range zoo.Catalog() {
+			fmt.Println("cell:", c.Name)
+		}
+		for _, a := range zooAlgos() {
+			fmt.Println("algo:", a.name)
+		}
+		for _, s := range zooSoaks() {
+			fmt.Println("soak:", s.name)
+		}
+		return
+	}
+	if *zooMode {
+		runZoo(*cellsFlag, *algosFlag, *soaksFlag, *seed, *verbose)
 		return
 	}
 	selScen, err := pick(scenarios, *scenariosFlag, func(s scenario) string { return s.name })

@@ -70,6 +70,60 @@ func TestRunSingleGaussianStopsAtOne(t *testing.T) {
 	}
 }
 
+// Regression: datasets smaller than the 2·InitialClusters seeding sample
+// previously failed with "dataset has only 1 points, need 2 samples". The
+// seeding now pads the sample by pairing points with themselves, so the run
+// degrades to the trivial clustering instead of erroring.
+func TestRunTinyDatasets(t *testing.T) {
+	stage := func(lines string, dim int) kmeansmr.Env {
+		fs := dfs.New(1 << 10)
+		w := fs.Writer("/tiny.txt")
+		w.WriteString(lines)
+		w.Close()
+		return kmeansmr.Env{FS: fs, Cluster: smallCluster(), Input: "/tiny.txt", Dim: dim}
+	}
+
+	t.Run("single-point", func(t *testing.T) {
+		res, err := Run(Config{Env: stage("1.5 -2.25\n", 2), Seed: 7, MaxK: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K != 1 {
+			t.Fatalf("single point clustered into k=%d", res.K)
+		}
+		if got := res.Centers[0]; got[0] != 1.5 || got[1] != -2.25 {
+			t.Errorf("center = %v, want the lone point", got)
+		}
+	})
+
+	t.Run("two-points", func(t *testing.T) {
+		res, err := Run(Config{Env: stage("0 0\n10 10\n", 2), Seed: 7, MaxK: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K < 1 || res.K > 2 {
+			t.Fatalf("two points clustered into k=%d", res.K)
+		}
+	})
+
+	t.Run("three-points", func(t *testing.T) {
+		res, err := Run(Config{Env: stage("0 0\n10 0\n0 10\n", 2), Seed: 7, MaxK: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K < 1 || res.K > 3 {
+			t.Fatalf("three points clustered into k=%d", res.K)
+		}
+		for _, c := range res.Centers {
+			for _, x := range c {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("non-finite center %v", c)
+				}
+			}
+		}
+	})
+}
+
 func TestRunDeterministicWithSeed(t *testing.T) {
 	env, _ := newEnv(t, dataset.Spec{K: 4, Dim: 2, N: 4000, MinSeparation: 20, Seed: 5}, 64<<10, smallCluster())
 	a, err := Run(Config{Env: env, Seed: 9})

@@ -294,9 +294,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 // draws pairs of random points as the first candidate centers. With
 // InitialClusters=1 this is one pair for the whole dataset.
 func pickInitialCenters(cfg Config) ([]*activeCluster, error) {
-	sample, err := kmeansmr.SamplePoints(cfg.Env, 2*cfg.InitialClusters, cfg.Seed)
+	sample, err := kmeansmr.SampleUpTo(cfg.Env, 2*cfg.InitialClusters, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	// Degenerate n < 2·InitialClusters datasets: pad the sample by pairing
+	// points with clones of themselves. The candidate pair collapses onto
+	// the point, the split test keeps the parent, and the run converges to
+	// the trivial clustering instead of erroring out. Bit-identical to the
+	// old SamplePoints path whenever the dataset is large enough.
+	for i := 0; len(sample) < 2*cfg.InitialClusters; i++ {
+		sample = append(sample, vec.Clone(sample[i]))
 	}
 	active := make([]*activeCluster, cfg.InitialClusters)
 	for i := range active {

@@ -36,6 +36,9 @@ type Options struct {
 	Scale float64
 	// Seed drives dataset generation and algorithm seeding.
 	Seed int64
+	// ScalingJSON, when non-empty, is the path the scaling experiment
+	// writes its machine-readable report (SCALING.json) to.
+	ScalingJSON string
 }
 
 func (o Options) withDefaults() Options {
@@ -61,19 +64,21 @@ type Runner func(Options) error
 
 // Registry maps experiment ids (fig1, table1, ...) to runners.
 var Registry = map[string]Runner{
-	"fig1":   Fig1,
-	"fig2":   Fig2,
-	"table1": Table1,
-	"table2": Table2,
-	"fig3":   Fig3,
-	"table3": Table3,
-	"fig4":   Fig4,
-	"table4": Table4,
+	"fig1":    Fig1,
+	"fig2":    Fig2,
+	"table1":  Table1,
+	"table2":  Table2,
+	"fig3":    Fig3,
+	"table3":  Table3,
+	"fig4":    Fig4,
+	"table4":  Table4,
+	"scaling": Scaling,
 }
 
-// Names returns the registry keys in canonical paper order.
+// Names returns the registry keys in canonical paper order (the scaling
+// suite, which is ours rather than the paper's, runs last).
 func Names() []string {
-	return []string{"fig1", "fig2", "table1", "table2", "fig3", "table3", "fig4", "table4"}
+	return []string{"fig1", "fig2", "table1", "table2", "fig3", "table3", "fig4", "table4", "scaling"}
 }
 
 // RunAll executes every experiment in paper order.

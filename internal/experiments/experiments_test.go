@@ -18,8 +18,8 @@ func smallOpts(buf *bytes.Buffer, scale float64) Options {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 8 {
-		t.Fatalf("expected 8 experiments (4 tables/figures pairs), got %d", len(names))
+	if len(names) != 9 {
+		t.Fatalf("expected 9 experiments (4 tables/figures pairs + scaling), got %d", len(names))
 	}
 	for _, n := range names {
 		if Registry[n] == nil {

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFitPowerLaw(t *testing.T) {
+	// Exact power laws fit exactly.
+	for _, tc := range []struct {
+		y   func(x float64) float64
+		exp float64
+	}{
+		{func(x float64) float64 { return 3 * x }, 1},
+		{func(x float64) float64 { return 2 * x * x }, 2},
+		{func(x float64) float64 { return 5 * math.Sqrt(x) }, 0.5},
+	} {
+		xs := []float64{2, 4, 8, 16}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = tc.y(x)
+		}
+		e, r2 := fitPowerLaw(xs, ys)
+		if math.Abs(e-tc.exp) > 1e-9 || r2 < 1-1e-9 {
+			t.Errorf("exponent %v want %v (r2=%v)", e, tc.exp, r2)
+		}
+	}
+	if e, _ := fitPowerLaw([]float64{1}, []float64{1}); !math.IsNaN(e) {
+		t.Error("single point fitted")
+	}
+	if e, _ := fitPowerLaw([]float64{1, 0}, []float64{1, 1}); !math.IsNaN(e) {
+		t.Error("non-positive x fitted")
+	}
+}
+
+// TestScalingReportShape runs the suite at the scale CI uses and checks
+// the artifact: every series present, fitted, and the deterministic
+// distance-count series inside their gate bands. (Much smaller scales
+// leave too few points per cluster for the shape claims to hold — k=32
+// needs a four-digit n.)
+func TestScalingReportShape(t *testing.T) {
+	report, err := RunScaling(Options{Scale: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"gmeans-cost-vs-k":     true,
+		"gmeans-cost-vs-n":     true,
+		"multik-cost-vs-k":     true,
+		"gmeans-time-vs-nodes": false,
+	}
+	if len(report.Series) != len(want) {
+		t.Fatalf("got %d series, want %d", len(report.Series), len(want))
+	}
+	for _, s := range report.Series {
+		gated, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected series %q", s.Name)
+			continue
+		}
+		if s.Gated != gated {
+			t.Errorf("%s: gated=%v, want %v", s.Name, s.Gated, gated)
+		}
+		if len(s.X) < 3 || len(s.X) != len(s.Y) {
+			t.Errorf("%s: malformed points x=%d y=%d", s.Name, len(s.X), len(s.Y))
+		}
+		if math.IsNaN(s.Exponent) {
+			t.Errorf("%s: exponent is NaN", s.Name)
+		}
+		if s.Gated && (s.Exponent < s.MinExponent || s.Exponent > s.MaxExponent) {
+			t.Errorf("%s: exponent %.3f outside its own band [%.2f, %.2f]",
+				s.Name, s.Exponent, s.MinExponent, s.MaxExponent)
+		}
+	}
+}
+
+func TestScalingWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "SCALING.json")
+	var buf bytes.Buffer
+	if err := Scaling(Options{Out: &buf, Scale: 0.05, Seed: 1, ScalingJSON: path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ScalingReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("SCALING.json is not valid JSON: %v", err)
+	}
+	if len(report.Series) != 4 {
+		t.Fatalf("artifact has %d series", len(report.Series))
+	}
+}

@@ -1,0 +1,154 @@
+package invariants
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+var square = [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+
+func TestCheckKRange(t *testing.T) {
+	if vs := CheckKRange(3, 10, 3); len(vs) != 0 {
+		t.Errorf("valid k flagged: %v", vs)
+	}
+	if vs := CheckKRange(0, 10, 0); len(vs) == 0 {
+		t.Error("k=0 not flagged")
+	}
+	if vs := CheckKRange(11, 10, 11); len(vs) == 0 {
+		t.Error("k>MaxK not flagged")
+	}
+	if vs := CheckKRange(3, 0, 3); len(vs) != 0 {
+		t.Errorf("uncapped maxK flagged: %v", vs)
+	}
+	if vs := CheckKRange(3, 10, 2); len(vs) == 0 {
+		t.Error("k != center count not flagged")
+	}
+}
+
+func TestCheckCentersFinite(t *testing.T) {
+	if vs := CheckCentersFinite([][]float64{{1, 2}, {3, 4}}); len(vs) != 0 {
+		t.Errorf("finite centers flagged: %v", vs)
+	}
+	if vs := CheckCentersFinite([][]float64{{1, math.NaN()}}); len(vs) == 0 {
+		t.Error("NaN center not flagged")
+	}
+	if vs := CheckCentersFinite([][]float64{{math.Inf(1), 0}}); len(vs) == 0 {
+		t.Error("Inf center not flagged")
+	}
+}
+
+func TestCheckCentersInBounds(t *testing.T) {
+	if vs := CheckCentersInBounds(square, [][]float64{{0.5, 0.5}, {1, 0}}); len(vs) != 0 {
+		t.Errorf("in-box centers flagged: %v", vs)
+	}
+	if vs := CheckCentersInBounds(square, [][]float64{{1.5, 0.5}}); len(vs) == 0 {
+		t.Error("out-of-box center not flagged")
+	}
+	if vs := CheckCentersInBounds(square, [][]float64{{0.5, 0.5, 0.5}}); len(vs) == 0 {
+		t.Error("dim mismatch not flagged")
+	}
+	// Boundary values must pass exactly (centroid of a degenerate cluster
+	// IS a data point on the hull).
+	if vs := CheckCentersInBounds(square, [][]float64{{0, 0}, {1, 1}}); len(vs) != 0 {
+		t.Errorf("hull centers flagged: %v", vs)
+	}
+}
+
+func TestCheckAssignment(t *testing.T) {
+	if vs := CheckAssignment(4, 2, []int{0, 1, 0, 1}); len(vs) != 0 {
+		t.Errorf("valid assignment flagged: %v", vs)
+	}
+	if vs := CheckAssignment(4, 2, []int{0, 1, 0}); len(vs) == 0 {
+		t.Error("short assignment not flagged")
+	}
+	if vs := CheckAssignment(4, 2, []int{0, 1, 2, 0}); len(vs) == 0 {
+		t.Error("out-of-range label not flagged")
+	}
+}
+
+func TestCheckAssignmentNearest(t *testing.T) {
+	centers := [][]float64{{0, 0}, {1, 1}}
+	if vs := CheckAssignmentNearest(square, centers, []int{0, 0, 0, 1}); len(vs) != 0 {
+		t.Errorf("nearest assignment flagged: %v", vs)
+	}
+	// {1,0} is equidistant — either label is a nearest center.
+	if vs := CheckAssignmentNearest(square, centers, []int{0, 1, 0, 1}); len(vs) != 0 {
+		t.Errorf("tie assignment flagged: %v", vs)
+	}
+	if vs := CheckAssignmentNearest(square, centers, []int{1, 0, 0, 0}); len(vs) == 0 {
+		t.Error("non-nearest assignment not flagged")
+	}
+}
+
+func TestCheckWCSSDescent(t *testing.T) {
+	down := [][][]float64{{{0.7, 0.7}}, {{0.5, 0.5}}}
+	if vs := CheckWCSSDescent(square, down, 1e-9); len(vs) != 0 {
+		t.Errorf("descending trajectory flagged: %v", vs)
+	}
+	up := [][][]float64{{{0.5, 0.5}}, {{5, 5}}}
+	if vs := CheckWCSSDescent(square, up, 1e-9); len(vs) == 0 {
+		t.Error("ascending trajectory not flagged")
+	}
+	// Equal WCSS (converged run) is non-increasing.
+	flat := [][][]float64{{{0.5, 0.5}}, {{0.5, 0.5}}}
+	if vs := CheckWCSSDescent(square, flat, 1e-9); len(vs) != 0 {
+		t.Errorf("converged trajectory flagged: %v", vs)
+	}
+}
+
+func TestCheckReadConservation(t *testing.T) {
+	if vs := CheckReadConservation(3, 300, 100); len(vs) != 0 {
+		t.Errorf("conserved accounting flagged: %v", vs)
+	}
+	if vs := CheckReadConservation(3, 299, 100); len(vs) == 0 {
+		t.Error("lost byte not flagged")
+	}
+	if vs := CheckReadConservation(0, 0, 100); len(vs) == 0 {
+		t.Error("zero reads not flagged")
+	}
+}
+
+func TestCheckCountersNonNegative(t *testing.T) {
+	if vs := CheckCountersNonNegative(map[string]int64{"a": 1, "b": 0}); len(vs) != 0 {
+		t.Errorf("valid counters flagged: %v", vs)
+	}
+	if vs := CheckCountersNonNegative(map[string]int64{"a": -1}); len(vs) == 0 {
+		t.Error("negative counter not flagged")
+	}
+}
+
+func TestDigestStability(t *testing.T) {
+	centers := [][]float64{{1.25, -2.5}, {3, 4}}
+	sizes := []int64{10, 20}
+	counters := map[string]int64{"x": 1, "y": 2}
+	a := Digest(centers, sizes, counters)
+	b := Digest(centers, sizes, map[string]int64{"y": 2, "x": 1})
+	if a != b {
+		t.Error("digest depends on counter map order")
+	}
+	if Digest(centers, sizes, map[string]int64{"x": 1, "y": 3}) == a {
+		t.Error("digest ignores counter values")
+	}
+	if Digest([][]float64{{1.25, -2.5}, {3, 4.0000000001}}, sizes, counters) == a {
+		t.Error("digest ignores a ULP-scale center change")
+	}
+	neg := Digest([][]float64{{math.Copysign(0, -1)}}, nil, nil)
+	pos := Digest([][]float64{{0}}, nil, nil)
+	if neg == pos {
+		t.Error("digest conflates -0 and +0")
+	}
+	if DigestAssignments([]int{1, 2}, []float64{0.5}) == DigestAssignments([]int{1, 2}, []float64{0.25}) {
+		t.Error("assignment digest ignores distances")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if Format(nil) != "" {
+		t.Error("empty violations formatted non-empty")
+	}
+	out := Format([]Violation{{Invariant: "a", Detail: "b"}, {Invariant: "c", Detail: "d"}})
+	if !strings.Contains(out, "a: b") || !strings.Contains(out, "c: d") {
+		t.Errorf("format output %q", out)
+	}
+}

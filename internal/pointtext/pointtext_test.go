@@ -1,0 +1,127 @@
+package pointtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAppendPointParsesRecord(t *testing.T) {
+	for _, tc := range []struct {
+		rec  string
+		dim  int
+		want []float64
+	}{
+		{"1 2 3", 3, []float64{1, 2, 3}},
+		{"1.5\t-2.25", 2, []float64{1.5, -2.25}},
+		{"  1e3 \t -2.5E-2  ", 2, []float64{1000, -0.025}},
+		{"\t\t7\t", 1, []float64{7}},
+		{"+0.5 -0", 2, []float64{0.5, math.Copysign(0, -1)}},
+	} {
+		got, err := AppendPoint(nil, tc.rec, tc.dim)
+		if err != nil {
+			t.Errorf("AppendPoint(%q, %d): %v", tc.rec, tc.dim, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("AppendPoint(%q) = %v, want %v", tc.rec, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(tc.want[i]) {
+				t.Errorf("AppendPoint(%q)[%d] = %v, want %v", tc.rec, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestAppendPointSpecialValues(t *testing.T) {
+	got, err := AppendPoint(nil, "NaN Inf -Inf", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[0]) || !math.IsInf(got[1], 1) || !math.IsInf(got[2], -1) {
+		t.Errorf("special literals parsed as %v", got)
+	}
+}
+
+func TestAppendPointDimMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		rec string
+		dim int
+	}{
+		{"1 2 3", 2}, // too many
+		{"1 2", 3},   // too few (ragged line in a d=3 file)
+		{"", 1},      // empty record
+		{"   ", 2},   // separators only
+	} {
+		if _, err := AppendPoint(nil, tc.rec, tc.dim); err == nil {
+			t.Errorf("AppendPoint(%q, %d) accepted a wrong-arity record", tc.rec, tc.dim)
+		}
+	}
+}
+
+func TestAppendPointBadToken(t *testing.T) {
+	_, err := AppendPoint(nil, "1 nope 3", 3)
+	if err == nil {
+		t.Fatal("malformed coordinate accepted")
+	}
+	// The error must name both the bad token and the whole record so a
+	// failed ingest points at the offending line.
+	if !strings.Contains(err.Error(), `"nope"`) || !strings.Contains(err.Error(), `"1 nope 3"`) {
+		t.Errorf("error does not identify token and record: %v", err)
+	}
+	// A CRLF line ending glues \r onto the last token: must error, not
+	// silently mis-parse.
+	if _, err := AppendPoint(nil, "1 2\r", 2); err == nil {
+		t.Error("CRLF record accepted")
+	}
+}
+
+func TestAppendPointExtendsDst(t *testing.T) {
+	dst := []float64{9, 8}
+	got, err := AppendPoint(dst, "1 2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 8, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("extended slice = %v, want %v", got, want)
+		}
+	}
+	// A failed parse must not hand back a partially-extended slice.
+	if bad, err := AppendPoint(dst[:2], "1 x", 2); err == nil || bad != nil {
+		t.Errorf("failed parse returned %v, %v", bad, err)
+	}
+}
+
+func TestAppendPointAny(t *testing.T) {
+	got, err := AppendPointAny(nil, "1 2 3 4 5")
+	if err != nil || len(got) != 5 {
+		t.Fatalf("AppendPointAny = %v, %v", got, err)
+	}
+	if _, err := AppendPointAny(nil, "  \t "); err == nil {
+		t.Error("blank record accepted by AppendPointAny")
+	}
+}
+
+// TestByteAndStringRecordsAgree pins the generic contract: the dfs cache
+// (byte slices) and the dataset parser (strings) must tokenize
+// identically.
+func TestByteAndStringRecordsAgree(t *testing.T) {
+	rec := " 1.25\t-3e2  NaN "
+	s, errS := AppendPointAny(nil, rec)
+	b, errB := AppendPointAny(nil, []byte(rec))
+	if (errS == nil) != (errB == nil) {
+		t.Fatalf("string err %v vs byte err %v", errS, errB)
+	}
+	if len(s) != len(b) {
+		t.Fatalf("string parse %v vs byte parse %v", s, b)
+	}
+	for i := range s {
+		if math.Float64bits(s[i]) != math.Float64bits(b[i]) {
+			t.Errorf("coordinate %d: %v vs %v", i, s[i], b[i])
+		}
+	}
+}

@@ -106,7 +106,15 @@ func RunContext(ctx context.Context, points []vec.Vector, cfg Config) (*Result, 
 		var next []vec.Vector
 		splitAny := false
 		for ci, m := range members {
-			if len(m) < 4 || len(centers)+1 > cfg.KMax {
+			// The cap must account for splits already accepted this round:
+			// len(next) holds the clusters committed so far (including the
+			// extra centers of accepted splits) and len(centers)-ci the ones
+			// still pending. Checking len(centers)+1 alone lets a round where
+			// many clusters split at once blow straight through KMax — with
+			// aggressively splittable data (e.g. collinear clusters) every
+			// cluster passes the local test and k doubles past the cap.
+			projected := len(next) + (len(centers) - ci)
+			if len(m) < 4 || projected+1 > cfg.KMax {
 				if len(m) > 0 {
 					next = append(next, centers[ci])
 				}

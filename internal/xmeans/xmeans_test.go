@@ -2,11 +2,14 @@ package xmeans
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"gmeansmr/internal/dataset"
 	"gmeansmr/internal/vec"
 )
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func mixture(t *testing.T, k, n int, seed int64) *dataset.Dataset {
 	t.Helper()
@@ -53,6 +56,39 @@ func TestRunRespectsKMax(t *testing.T) {
 	}
 	if res.K > 3 {
 		t.Errorf("KMax=3 violated: k=%d", res.K)
+	}
+}
+
+// Regression: when every cluster passes the local split test in the same
+// improve-structure round (16 well-separated Gaussians, collinear mixtures,
+// ...), the per-cluster cap check must account for splits already accepted
+// that round, or k doubles straight past KMax (observed k=16 with KMax=12 on
+// collinear data before the fix).
+func TestRunKMaxHoldsUnderSimultaneousSplits(t *testing.T) {
+	ds := mixture(t, 16, 3200, 9)
+	for _, kmax := range []int{3, 5, 6} {
+		res, err := Run(ds.Points, Config{KMax: kmax, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K > kmax {
+			t.Errorf("KMax=%d violated: k=%d", kmax, res.K)
+		}
+	}
+	// The collinear probe that originally surfaced the bug: three clusters
+	// on a line in R^3 split aggressively on every axis.
+	line := make([]vec.Vector, 900)
+	rng := newTestRand(11)
+	for i := range line {
+		tt := float64(i%3)*30 + rng.NormFloat64()
+		line[i] = vec.Vector{tt, 2 * tt, -tt}
+	}
+	res, err := Run(line, Config{KMax: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 12 {
+		t.Errorf("collinear data: KMax=12 violated: k=%d", res.K)
 	}
 }
 

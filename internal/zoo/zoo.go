@@ -1,0 +1,184 @@
+// Package zoo is a catalog of seedable adversarial datasets for
+// property-based testing of the k-discovery algorithms. Every cell is a
+// deterministic generator (same seed → bit-identical points) that targets a
+// known failure mode — duplicate mass, collinearity, degenerate dimension or
+// size, heavy tails, overlapping or extreme-skew mixtures — and carries a
+// machine-readable descriptor so a failing harness cell can print exactly
+// what data to replay.
+//
+// Zoo cells assert invariants (see internal/invariants), never golden
+// outputs: hostile inputs have no meaningful "expected centers", but every
+// run over them must still satisfy the algorithm contracts.
+package zoo
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+
+	"gmeansmr"
+)
+
+// Cell is one adversarial dataset generator.
+type Cell struct {
+	// Name identifies the cell in harness output and Find.
+	Name string
+	// Hostile is the human/machine-readable account of what makes the
+	// dataset adversarial.
+	Hostile string
+	// N and Dim are the generated point count and dimensionality.
+	N, Dim int
+	// TrueK is the nominal generating cluster count; 0 when the notion is
+	// ill-defined (overlapping or heavy-tailed mixtures). Harnesses must
+	// not gate on it — it is descriptive metadata for triage.
+	TrueK int
+
+	gen func(rng *rand.Rand, i int) []float64
+}
+
+// Points generates the cell's dataset; the same seed yields bit-identical
+// points. All coordinates are finite.
+func (c Cell) Points(seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, c.N)
+	for i := range out {
+		out[i] = c.gen(rng, i)
+	}
+	return out
+}
+
+// Source wraps the generated points as a facade DataSource.
+func (c Cell) Source(seed int64) gmeansmr.DataSource {
+	return gmeansmr.FromPoints(c.Points(seed))
+}
+
+// Descriptor is the machine-readable description of one cell instance —
+// printed by harnesses on failure so the exact dataset can be replayed.
+type Descriptor struct {
+	Name    string `json:"name"`
+	Hostile string `json:"hostile"`
+	N       int    `json:"n"`
+	Dim     int    `json:"dim"`
+	TrueK   int    `json:"true_k,omitempty"`
+	Seed    int64  `json:"seed"`
+}
+
+// Descriptor builds the replay descriptor for the cell at the given seed.
+func (c Cell) Descriptor(seed int64) Descriptor {
+	return Descriptor{Name: c.Name, Hostile: c.Hostile, N: c.N, Dim: c.Dim, TrueK: c.TrueK, Seed: seed}
+}
+
+// String renders the descriptor as one-line JSON.
+func (d Descriptor) String() string {
+	b, _ := json.Marshal(d)
+	return string(b)
+}
+
+// Catalog returns every zoo cell. The slice is freshly allocated; callers
+// may filter or reorder it.
+func Catalog() []Cell {
+	return []Cell{
+		{
+			Name:    "duplicate-heavy",
+			Hostile: "1200 points but only 4 distinct values; zero within-cluster variance breaks variance-normalized statistics and duplicate-aware sampling",
+			N:       1200, Dim: 3, TrueK: 4,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				c := [4][3]float64{{0, 0, 0}, {50, 0, 0}, {0, 50, 0}, {0, 0, 50}}[i%4]
+				return []float64{c[0], c[1], c[2]}
+			},
+		},
+		{
+			Name:    "all-identical",
+			Hostile: "every point is the same value; any split test must keep k=1 and centroid updates must not divide by zero spread",
+			N:       500, Dim: 2, TrueK: 1,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				return []float64{3.5, -1.25}
+			},
+		},
+		{
+			Name:    "collinear",
+			Hostile: "three clusters on a line in R^3; the covariance is rank-1, PCA directions are degenerate, and every cluster passes split tests simultaneously (historically blew through KMax)",
+			N:       900, Dim: 3, TrueK: 3,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				t := float64(i%3)*30 + rng.NormFloat64()
+				return []float64{t, 2 * t, -t}
+			},
+		},
+		{
+			Name:    "single-cluster",
+			Hostile: "one isotropic Gaussian; the null hypothesis of every split test — over-splitting here is the classic G-means failure",
+			N:       2000, Dim: 4, TrueK: 1,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				return []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			},
+		},
+		{
+			Name:    "d1-mixture",
+			Hostile: "three clusters in one dimension; projection-based candidate generation (PCA, random directions) has only one axis to work with",
+			N:       1500, Dim: 1, TrueK: 3,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				return []float64{float64(i%3)*25 + rng.NormFloat64()}
+			},
+		},
+		{
+			Name:    "heavy-tail",
+			Hostile: "three clusters with Student-t-like noise; extreme outliers drag centroids and make normality-based split tests reject everywhere",
+			N:       2000, Dim: 2, TrueK: 0,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				c := float64(i%3) * 40
+				t1 := rng.NormFloat64() / math.Sqrt(math.Abs(rng.NormFloat64())+0.05)
+				t2 := rng.NormFloat64() / math.Sqrt(math.Abs(rng.NormFloat64())+0.05)
+				return []float64{c + t1, c + t2}
+			},
+		},
+		{
+			Name:    "overlap-twins",
+			Hostile: "two Gaussians 0.5 sigma apart; effectively unimodal, so k is genuinely ambiguous and split decisions sit on the test's knife edge",
+			N:       2000, Dim: 2, TrueK: 0,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				base := 0.0
+				if i%2 == 0 {
+					base = 0.5
+				}
+				return []float64{base + rng.NormFloat64(), rng.NormFloat64()}
+			},
+		},
+		{
+			Name:    "skew-sizes",
+			Hostile: "cluster sizes 2000 vs 40; uniform sampling almost never seeds the minority cluster and size-based minimums can starve it",
+			N:       2040, Dim: 3, TrueK: 2,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				if i < 2000 {
+					return []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+				}
+				return []float64{60 + rng.NormFloat64(), 60 + rng.NormFloat64(), 60 + rng.NormFloat64()}
+			},
+		},
+		{
+			Name:    "tiny-n",
+			Hostile: "n=3 is below every default k sweep ceiling and every minimum split-test sample size; seeding and candidate ranges must clamp, not error",
+			N:       3, Dim: 2, TrueK: 3,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				return [][]float64{{0, 0}, {10, 0}, {0, 10}}[i]
+			},
+		},
+		{
+			Name:    "single-point",
+			Hostile: "n=1: the fully degenerate dataset; any pair-based seeding (G-means draws 2 samples) must degrade to the trivial clustering",
+			N:       1, Dim: 2, TrueK: 1,
+			gen: func(rng *rand.Rand, i int) []float64 {
+				return []float64{1.5, -2.25}
+			},
+		},
+	}
+}
+
+// Find returns the named cell.
+func Find(name string) (Cell, bool) {
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}

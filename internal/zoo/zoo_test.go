@@ -1,0 +1,65 @@
+package zoo
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCatalogIntegrity(t *testing.T) {
+	cells := Catalog()
+	if len(cells) < 8 {
+		t.Fatalf("catalog has %d cells, the harness matrix needs at least 8", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Name == "" || c.Hostile == "" {
+			t.Fatalf("cell %+v missing name or hostile description", c)
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate cell name %q", c.Name)
+		}
+		seen[c.Name] = true
+
+		points := c.Points(42)
+		if len(points) != c.N {
+			t.Errorf("%s: generated %d points, descriptor says %d", c.Name, len(points), c.N)
+		}
+		for i, p := range points {
+			if len(p) != c.Dim {
+				t.Fatalf("%s: point %d has dim %d, descriptor says %d", c.Name, i, len(p), c.Dim)
+			}
+			for _, x := range p {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("%s: point %d has non-finite coordinate %v", c.Name, i, x)
+				}
+			}
+		}
+	}
+}
+
+func TestPointsDeterministicInSeed(t *testing.T) {
+	for _, c := range Catalog() {
+		if !reflect.DeepEqual(c.Points(7), c.Points(7)) {
+			t.Errorf("%s: same seed produced different points", c.Name)
+		}
+	}
+}
+
+func TestDescriptorRoundTrips(t *testing.T) {
+	c, ok := Find("collinear")
+	if !ok {
+		t.Fatal("collinear cell missing")
+	}
+	var d Descriptor
+	if err := json.Unmarshal([]byte(c.Descriptor(9).String()), &d); err != nil {
+		t.Fatalf("descriptor is not valid JSON: %v", err)
+	}
+	if d.Name != "collinear" || d.Seed != 9 || d.N != c.N || d.Dim != c.Dim {
+		t.Errorf("descriptor round-trip mismatch: %+v", d)
+	}
+	if _, ok := Find("no-such-cell"); ok {
+		t.Error("Find invented a cell")
+	}
+}
